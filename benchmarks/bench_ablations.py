@@ -1,0 +1,76 @@
+"""Benchmarks for the ablation studies A1–A4 (design-choice costs)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.balance import MultipleChoice
+from repro.core import CacheSystem, DistanceHalvingNetwork, dh_lookup, fast_lookup
+
+
+def test_ring_edges_cost(benchmark):
+    """A1: marginal neighbour-set cost of the ring edges."""
+    rng = np.random.default_rng(1)
+    net = DistanceHalvingNetwork(rng=rng)
+    net.populate(256, selector=MultipleChoice(t=4))
+    p = list(net.points())[50]
+
+    def with_and_without():
+        ring = net.ring_neighbor_points(p)
+        full = net.neighbor_points(p)
+        return len(ring), len(full)
+
+    r, f = benchmark(with_and_without)
+    assert r == 2 and f >= r
+
+
+def test_threshold_sweep_kernel(benchmark):
+    """A2: one full hotspot epoch at c = log n."""
+    rng = np.random.default_rng(2)
+    net = DistanceHalvingNetwork(rng=rng)
+    n = 128
+    net.populate(n, selector=MultipleChoice(t=4))
+    pts = list(net.points())
+
+    def epoch():
+        cache = CacheSystem(net, threshold=int(math.log2(n)))
+        for i in range(n):
+            cache.request("hot", pts[i % n], rng)
+        cache.advance_epoch()
+        return cache
+
+    cache = benchmark.pedantic(epoch, rounds=3, iterations=1)
+    assert cache.requests_served == n
+
+
+def test_smoothness_cost_of_uniform_ids(benchmark):
+    """A3: lookup on an unbalanced network (ρ huge) still meets its bound."""
+    rng = np.random.default_rng(3)
+    net = DistanceHalvingNetwork(rng=rng)
+    net.populate(256)
+    pts = list(net.points())
+
+    def run():
+        src = pts[int(rng.integers(len(pts)))]
+        return fast_lookup(net, src, float(rng.random()))
+
+    res = benchmark(run)
+    rho = net.smoothness()
+    assert res.t <= math.log2(net.n) + math.log2(rho) + 1
+
+
+def test_two_phase_overhead(benchmark):
+    """A4: the message-count price of Valiant randomisation."""
+    rng = np.random.default_rng(4)
+    net = DistanceHalvingNetwork(rng=rng)
+    net.populate(256, selector=MultipleChoice(t=4))
+    pts = list(net.points())
+
+    def both():
+        src = pts[int(rng.integers(len(pts)))]
+        y = float(rng.random())
+        return fast_lookup(net, src, y).hops, dh_lookup(net, src, y, rng).hops
+
+    f, d = benchmark(both)
+    assert d <= 4 * math.log2(net.n)

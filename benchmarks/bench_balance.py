@@ -1,0 +1,58 @@
+"""Benchmarks for id balancing (experiments E10/E11; §4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.balance import (
+    BucketBalancer,
+    ImprovedSingleChoice,
+    MultipleChoice,
+    SingleChoice,
+)
+from repro.core.segments import SegmentMap
+
+
+@pytest.fixture(scope="module")
+def seg_map_512():
+    rng = np.random.default_rng(3)
+    sm = SegmentMap(np.unique(rng.random(512)))
+    return sm
+
+
+@pytest.mark.parametrize("strategy", [SingleChoice(), ImprovedSingleChoice(), MultipleChoice(t=4)],
+                         ids=["single", "improved", "multiple"])
+def test_selector_kernel(benchmark, seg_map_512, strategy):
+    rng = np.random.default_rng(5)
+    p = benchmark(strategy.select, seg_map_512, rng)
+    assert 0.0 <= p < 1.0
+
+
+def test_bucket_join_kernel(benchmark):
+    rng = np.random.default_rng(6)
+    bb = BucketBalancer(rebalance_threshold=3.0)
+    for _ in range(256):
+        bb.join(rng)
+
+    def join_leave():
+        h = bb.join(rng)
+        bb.leave(h, rng)
+
+    benchmark(join_leave)
+    bb.check_invariants()
+
+
+def test_balance_shape():
+    """The §4 ladder: ρ(multiple) < ρ(improved) < ρ(single)."""
+    rhos = {}
+    for name, strat in (("single", SingleChoice()),
+                        ("improved", ImprovedSingleChoice()),
+                        ("multiple", MultipleChoice(t=4))):
+        rng = np.random.default_rng(9)
+        sm = SegmentMap()
+        for _ in range(1024):
+            sm.insert(strat.select(sm, rng))
+        rhos[name] = sm.smoothness()
+    assert rhos["multiple"] < rhos["improved"] < rhos["single"]
+    assert rhos["multiple"] <= 16

@@ -1,0 +1,59 @@
+"""Benchmarks for dynamic caching (experiments E7–E9; §3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CacheSystem
+
+
+@pytest.fixture()
+def cache(balanced_net_512):
+    return CacheSystem(balanced_net_512, threshold=9)
+
+
+def test_cached_request_kernel(benchmark, balanced_net_512, cache, route_rng):
+    pts = list(balanced_net_512.points())
+
+    def run():
+        src = pts[int(route_rng.integers(len(pts)))]
+        return cache.request("hot-item", src, route_rng)
+
+    res = benchmark(run)
+    assert res.hops <= res.lookup.hops  # no caching latency
+
+
+def test_epoch_collapse_kernel(benchmark, balanced_net_512, route_rng):
+    cache = CacheSystem(balanced_net_512, threshold=4)
+    pts = list(balanced_net_512.points())
+    for i in range(400):
+        cache.request("hot", pts[i % len(pts)], route_rng)
+
+    def run():
+        cache.advance_epoch()
+
+    benchmark(run)
+
+
+def test_content_update_kernel(benchmark, balanced_net_512, route_rng):
+    cache = CacheSystem(balanced_net_512, threshold=4)
+    pts = list(balanced_net_512.points())
+    for i in range(400):
+        cache.request("hot", pts[i % len(pts)], route_rng)
+    tree = cache.tree_for("hot")
+
+    msgs, time = benchmark(tree.update_content, balanced_net_512)
+    assert time <= 2 * math.log2(balanced_net_512.n)
+
+
+def test_hotspot_relief_shape(balanced_net_512, route_rng):
+    """Table-level claim of §3: O(log² n) hits vs n without caching."""
+    n = balanced_net_512.n
+    cache = CacheSystem(balanced_net_512, threshold=int(math.log2(n)))
+    pts = list(balanced_net_512.points())
+    for i in range(n):
+        cache.request("hot", pts[i % n], route_rng)
+    max_hits = max(cache.cache_hits.values())
+    assert max_hits <= 6 * math.log2(n) ** 2
+    assert max_hits < n / 4  # massively below the uncached owner load

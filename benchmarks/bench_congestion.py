@@ -1,0 +1,37 @@
+"""Benchmarks for congestion measurement (experiment E4; Thm 2.7/2.9)."""
+
+import math
+
+import numpy as np
+
+from repro.core import CongestionCounter, dh_lookup, fast_lookup
+
+
+def test_congestion_batch_kernel(benchmark, balanced_net_512, route_rng):
+    """Routing + accounting for a batch of 64 random lookups."""
+    pts = list(balanced_net_512.points())
+
+    def run():
+        counter = CongestionCounter()
+        for _ in range(64):
+            src = pts[int(route_rng.integers(len(pts)))]
+            counter.record(fast_lookup(balanced_net_512, src, float(route_rng.random())))
+        return counter
+
+    counter = benchmark(run)
+    assert counter.lookups == 64
+
+
+def test_congestion_shape(balanced_net_512, route_rng):
+    """Max congestion ≈ Θ(log n / n) for both algorithms."""
+    n = balanced_net_512.n
+    pts = list(balanced_net_512.points())
+    cf, cd = CongestionCounter(), CongestionCounter()
+    for _ in range(2000):
+        src = pts[int(route_rng.integers(len(pts)))]
+        y = float(route_rng.random())
+        cf.record(fast_lookup(balanced_net_512, src, y))
+        cd.record(dh_lookup(balanced_net_512, src, y, route_rng))
+    bound = 12 * math.log2(n) / n
+    assert cf.max_congestion() <= bound
+    assert cd.max_congestion() <= bound

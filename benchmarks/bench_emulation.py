@@ -1,0 +1,47 @@
+"""Benchmarks for general graph emulation (experiment E15; §7)."""
+
+import numpy as np
+import pytest
+
+from repro.balance import MultipleChoice
+from repro.core.segments import SegmentMap
+from repro.emulation import DeBruijnFamily, GraphEmulator, TorusFamily
+
+
+@pytest.fixture(scope="module")
+def emulator():
+    rng = np.random.default_rng(19)
+    sm = SegmentMap()
+    mc = MultipleChoice(t=4)
+    for _ in range(256):
+        sm.insert(mc.select(sm, rng))
+    return GraphEmulator(sm, TorusFamily())
+
+
+def test_guest_mapping_kernel(benchmark, emulator):
+    p = list(emulator.segments)[17]
+    guests = benchmark(emulator.guests_of, p)
+    assert len(guests) <= emulator.segments.smoothness() + 1
+
+
+def test_host_edges_kernel(benchmark, emulator):
+    edges = benchmark(emulator.host_edges)
+    assert len(edges) > 0
+
+
+def test_emulate_round_kernel(benchmark, emulator):
+    rng = np.random.default_rng(20)
+    values = {u: float(rng.random()) for u in range(1 << emulator.k)}
+    out = benchmark(emulator.emulate_round, values)
+    assert len(out) == 1 << emulator.k
+
+
+def test_emulation_shape():
+    """§7 properties hold for a De Bruijn guest on a fresh decomposition."""
+    rng = np.random.default_rng(21)
+    sm = SegmentMap()
+    mc = MultipleChoice(t=4)
+    for _ in range(128):
+        sm.insert(mc.select(sm, rng))
+    em = GraphEmulator(sm, DeBruijnFamily())
+    assert all(em.check_properties().values())

@@ -1,0 +1,48 @@
+"""Benchmarks for the dynamic expander (experiment E12; §5)."""
+
+import numpy as np
+import pytest
+
+from repro.expander import (
+    GG_EXPANSION_CONSTANT,
+    GabberGalilNetwork,
+    sampled_vertex_expansion,
+    spectral_gap,
+)
+
+
+@pytest.fixture(scope="module")
+def gg_net():
+    rng = np.random.default_rng(12)
+    return GabberGalilNetwork(n=128, rng=rng, samples_per_cell=16)
+
+
+def test_build_kernel(benchmark):
+    def build():
+        rng = np.random.default_rng(13)
+        net = GabberGalilNetwork(n=64, rng=rng, samples_per_cell=12)
+        return net.edges()
+
+    edges = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(edges) > 64
+
+
+def test_spectral_gap_kernel(benchmark, gg_net):
+    g = gg_net.to_networkx()
+    lam = benchmark(spectral_gap, g)
+    assert lam > 0.05
+
+
+def test_owner_query_kernel(benchmark, gg_net):
+    rng = np.random.default_rng(14)
+    probes = rng.random((256, 2))
+    owners = benchmark(gg_net.voronoi.owner_many, probes)
+    assert len(owners) == 256
+
+
+def test_expander_shape(gg_net):
+    """Cor 5.2: verified expansion above the Gabber–Galil constant / ρ."""
+    rng = np.random.default_rng(15)
+    h = sampled_vertex_expansion(gg_net.to_networkx(), rng,
+                                 positions=gg_net.voronoi.points)
+    assert h >= GG_EXPANSION_CONSTANT / 2

@@ -1,0 +1,61 @@
+"""Benchmarks for fault-tolerant lookups (experiments E13/E14; §6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    OverlappingDHNetwork,
+    random_byzantine,
+    random_failstop,
+    resistant_lookup,
+    simple_lookup,
+)
+
+
+@pytest.fixture(scope="module")
+def overlap_net():
+    rng = np.random.default_rng(16)
+    net = OverlappingDHNetwork(512, rng)
+    net.store_item("doc", "payload")
+    return net
+
+
+def test_simple_lookup_kernel(benchmark, overlap_net, route_rng):
+    def run():
+        src = overlap_net.points[int(route_rng.integers(overlap_net.n))]
+        return simple_lookup(overlap_net, src, "doc", route_rng)
+
+    res = benchmark(run)
+    assert res.success
+    assert res.parallel_time <= math.log2(overlap_net.n) + 3
+
+
+def test_resistant_lookup_kernel(benchmark, overlap_net, route_rng):
+    def run():
+        src = overlap_net.points[int(route_rng.integers(overlap_net.n))]
+        return resistant_lookup(overlap_net, src, "doc")
+
+    res = benchmark(run)
+    assert res.success
+    assert res.messages <= 8 * math.log2(overlap_net.n) ** 3
+
+
+def test_failstop_shape(overlap_net, route_rng):
+    """Theorem 6.4 at p = 0.2: every tested survivor succeeds."""
+    plan = random_failstop(overlap_net.points, 0.2, np.random.default_rng(17))
+    for i in range(0, overlap_net.n, 16):
+        src = overlap_net.points[i]
+        if plan.is_alive(src):
+            assert simple_lookup(overlap_net, src, "doc", route_rng, plan).success
+
+
+def test_byzantine_shape(overlap_net):
+    """Theorem 6.6 at p = 0.1: majority filtering keeps answers correct."""
+    plan = random_byzantine(overlap_net.points, 0.1, np.random.default_rng(18))
+    ok = sum(
+        resistant_lookup(overlap_net, overlap_net.points[i], "doc", plan).success
+        for i in range(0, overlap_net.n, 16)
+    )
+    assert ok >= (overlap_net.n // 16) * 0.95

@@ -1,0 +1,12 @@
+"""Benchmarks regenerating the paper's figures F1–F4 (see DESIGN.md)."""
+
+import pytest
+
+from repro.experiments.figures import figure1, figure2, figure3, figure4
+
+
+@pytest.mark.parametrize("fig", [figure1, figure2, figure3, figure4],
+                         ids=["F1", "F2", "F3", "F4"])
+def test_figure_generators(benchmark, fig):
+    res = benchmark.pedantic(fig, rounds=1, iterations=1)
+    assert res.passed, f"{res.experiment} checks failed: {res.checks}"

@@ -1,0 +1,43 @@
+"""Benchmarks for lookup path lengths (experiment E3; Cor 2.5, Thm 2.8)."""
+
+import math
+
+import numpy as np
+
+from repro.core import dh_lookup, fast_lookup
+
+
+def test_fast_lookup_kernel(benchmark, balanced_net_512, route_rng):
+    pts = list(balanced_net_512.points())
+
+    def run():
+        src = pts[int(route_rng.integers(len(pts)))]
+        return fast_lookup(balanced_net_512, src, float(route_rng.random()))
+
+    res = benchmark(run)
+    n, rho = balanced_net_512.n, balanced_net_512.smoothness()
+    assert res.t <= math.log2(n) + math.log2(rho) + 1
+
+
+def test_dh_lookup_kernel(benchmark, balanced_net_512, route_rng):
+    pts = list(balanced_net_512.points())
+
+    def run():
+        src = pts[int(route_rng.integers(len(pts)))]
+        return dh_lookup(balanced_net_512, src, float(route_rng.random()), route_rng)
+
+    res = benchmark(run)
+    n, rho = balanced_net_512.n, balanced_net_512.smoothness()
+    assert res.hops <= 2 * math.log2(n) + 2 * math.log2(rho) + 2
+
+
+def test_path_length_shape(balanced_net_512, route_rng):
+    """Two-phase ≈ 2× one-phase mean (the Theorem 2.8 factor)."""
+    pts = list(balanced_net_512.points())
+    f, d = [], []
+    for _ in range(150):
+        src = pts[int(route_rng.integers(len(pts)))]
+        y = float(route_rng.random())
+        f.append(fast_lookup(balanced_net_512, src, y).hops)
+        d.append(dh_lookup(balanced_net_512, src, y, route_rng).hops)
+    assert 1.2 <= np.mean(d) / max(1e-9, np.mean(f)) <= 3.2

@@ -1,0 +1,31 @@
+"""Benchmarks for permutation routing (experiment E5; Thm 2.10/2.11)."""
+
+import math
+
+import numpy as np
+
+from repro.core import CongestionCounter, dh_lookup
+from repro.sim.workload import bit_reversal_permutation, random_permutation
+
+
+def test_permutation_routing_kernel(benchmark, balanced_net_512, route_rng):
+    """Route a full random permutation (n simultaneous lookups)."""
+    pts = list(balanced_net_512.points())
+
+    def run():
+        counter = CongestionCounter()
+        for src, tgt in random_permutation(pts, route_rng):
+            counter.record(dh_lookup(balanced_net_512, src, tgt, route_rng))
+        return counter.max_load()
+
+    load = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert load <= 8 * math.log2(balanced_net_512.n)
+
+
+def test_bit_reversal_shape(balanced_net_512, route_rng):
+    """Theorem 2.10 on the adversarial bit-reversal pattern."""
+    pts = list(balanced_net_512.points())
+    counter = CongestionCounter()
+    for src, tgt in bit_reversal_permutation(pts):
+        counter.record(dh_lookup(balanced_net_512, src, tgt, route_rng))
+    assert counter.max_load() <= 8 * math.log2(balanced_net_512.n)

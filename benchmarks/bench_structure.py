@@ -1,0 +1,40 @@
+"""Benchmarks for the structural theorems (experiment E2; Thm 2.1/2.2)."""
+
+import math
+
+import numpy as np
+
+from repro.core import DistanceHalvingNetwork
+
+
+def test_join_kernel(benchmark):
+    """Cost of one Join (segment split + data movement bookkeeping)."""
+    rng = np.random.default_rng(1)
+    net = DistanceHalvingNetwork(rng=rng)
+    net.populate(512)
+
+    def join_leave():
+        srv = net.join()
+        net.leave(srv.point)
+
+    benchmark(join_leave)
+    assert net.n == 512
+
+
+def test_edge_count_kernel(benchmark, balanced_net_512):
+    edges = benchmark(balanced_net_512.edge_count)
+    assert edges <= 3 * balanced_net_512.n - 1  # Theorem 2.1
+
+
+def test_neighbor_query_kernel(benchmark, balanced_net_512):
+    p = list(balanced_net_512.points())[100]
+    neigh = benchmark(balanced_net_512.neighbor_points, p)
+    rho = balanced_net_512.smoothness()
+    assert len(neigh) <= (rho + 4) + (math.ceil(2 * rho) + 1) + 2  # Thm 2.2 + ring
+
+
+def test_degree_bounds_shape(uniform_net_512):
+    """Theorem 2.2 at terrible smoothness (uniform ids)."""
+    rho = uniform_net_512.smoothness()
+    assert uniform_net_512.max_out_degree() <= rho + 4
+    assert uniform_net_512.max_in_degree() <= math.ceil(2 * rho) + 1

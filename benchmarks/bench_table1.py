@@ -1,0 +1,81 @@
+"""Benchmarks regenerating Table 1 (experiment E1).
+
+One timing per lookup scheme (the routed-lookup kernel that produces the
+path-length/congestion columns), plus a shape assertion comparing the
+measured classes at n = 256.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CanNetwork,
+    ChordNetwork,
+    DistanceHalvingAdapter,
+    KleinbergRing,
+    KoordeNetwork,
+    TapestryNetwork,
+    ViceroyNetwork,
+    measure_scheme,
+)
+
+N = 256
+
+
+def _bench_lookups(benchmark, dht, seed=5):
+    rng = np.random.default_rng(seed)
+    ids = list(dht.node_ids())
+
+    def run():
+        src = ids[int(rng.integers(len(ids)))]
+        return dht.lookup_path(src, float(rng.random()), rng)
+
+    path = benchmark(run)
+    assert len(path) >= 1
+
+
+@pytest.fixture(scope="module")
+def build_rng():
+    return np.random.default_rng(11)
+
+
+def test_chord_lookup(benchmark, build_rng):
+    _bench_lookups(benchmark, ChordNetwork(N, build_rng))
+
+
+def test_tapestry_lookup(benchmark, build_rng):
+    _bench_lookups(benchmark, TapestryNetwork(N, build_rng))
+
+
+def test_can_lookup(benchmark, build_rng):
+    _bench_lookups(benchmark, CanNetwork(N, build_rng, d=2))
+
+
+def test_small_world_lookup(benchmark, build_rng):
+    _bench_lookups(benchmark, KleinbergRing(N, build_rng))
+
+
+def test_viceroy_lookup(benchmark, build_rng):
+    _bench_lookups(benchmark, ViceroyNetwork(N, build_rng))
+
+
+def test_koorde_lookup(benchmark, build_rng):
+    _bench_lookups(benchmark, KoordeNetwork(N, build_rng))
+
+
+def test_distance_halving_lookup(benchmark, build_rng):
+    _bench_lookups(benchmark, DistanceHalvingAdapter(N, build_rng, delta=2))
+
+
+def test_table1_shape(build_rng):
+    """Who wins: DH path ≈ Chord path with O(1) vs O(log n) linkage."""
+    rng = np.random.default_rng(21)
+    chord = measure_scheme(ChordNetwork(N, build_rng), rng, lookups=300)
+    dh = measure_scheme(DistanceHalvingAdapter(N, build_rng, delta=2), rng, lookups=300)
+    can = measure_scheme(CanNetwork(N, build_rng, d=2), rng, lookups=300)
+    assert dh.mean_path <= 3 * chord.mean_path          # same log-class
+    assert dh.mean_degree <= 12                          # constant linkage
+    assert chord.mean_degree >= math.log2(N) / 2         # log linkage
+    assert can.mean_path >= chord.mean_path              # n^{1/2} ≥ log n here

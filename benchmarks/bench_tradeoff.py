@@ -1,0 +1,53 @@
+"""Benchmarks for the degree/path trade-off (experiment E6; Thm 2.13)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.balance import MultipleChoice
+from repro.core import DistanceHalvingNetwork, fast_lookup
+
+N = 512
+
+
+@pytest.fixture(scope="module", params=[2, 8, 16])
+def delta_net(request):
+    rng = np.random.default_rng(request.param * 100)
+    net = DistanceHalvingNetwork(delta=request.param, rng=rng)
+    net.populate(N, selector=MultipleChoice(t=4))
+    return net
+
+
+def test_lookup_by_delta(benchmark, delta_net, route_rng):
+    pts = list(delta_net.points())
+
+    def run():
+        src = pts[int(route_rng.integers(len(pts)))]
+        return fast_lookup(delta_net, src, float(route_rng.random()))
+
+    res = benchmark(run)
+    assert res.t <= math.log(N, delta_net.delta) + math.log(
+        delta_net.smoothness(), delta_net.delta
+    ) + 1
+
+
+def test_tradeoff_shape(route_rng):
+    """Δ=16 at n=512: paths ≈ log_16 512 ≈ 2.25 ≪ log_2 512 = 9."""
+    rng = np.random.default_rng(7)
+    net2 = DistanceHalvingNetwork(delta=2, rng=rng)
+    net2.populate(N, selector=MultipleChoice(t=4))
+    net16 = DistanceHalvingNetwork(delta=16, rng=rng)
+    net16.populate(N, selector=MultipleChoice(t=4))
+    t2 = np.mean([
+        fast_lookup(net2, list(net2.points())[int(route_rng.integers(N))],
+                    float(route_rng.random())).t
+        for _ in range(100)
+    ])
+    t16 = np.mean([
+        fast_lookup(net16, list(net16.points())[int(route_rng.integers(N))],
+                    float(route_rng.random())).t
+        for _ in range(100)
+    ])
+    assert t16 < t2 / 2
+    assert net16.average_degree() > net2.average_degree()

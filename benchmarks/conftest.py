@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one paper artefact (table/figure/
+theorem family — see DESIGN.md's experiment index): the pytest-benchmark
+timings cover the *kernels* that the corresponding experiment harness
+drives, and each module also asserts the headline shape of its artefact
+on a small instance so `pytest benchmarks/ --benchmark-only` doubles as a
+smoke reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.balance import MultipleChoice
+from repro.core import DistanceHalvingNetwork
+
+
+@pytest.fixture(scope="session")
+def balanced_net_512():
+    rng = np.random.default_rng(2003)
+    net = DistanceHalvingNetwork(rng=rng)
+    net.populate(512, selector=MultipleChoice(t=4))
+    return net
+
+
+@pytest.fixture(scope="session")
+def uniform_net_512():
+    rng = np.random.default_rng(2004)
+    net = DistanceHalvingNetwork(rng=rng)
+    net.populate(512)
+    return net
+
+
+@pytest.fixture()
+def route_rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,186 @@
+"""Id-selection (load balancing) algorithms of paper §4.
+
+The smoothness ``ρ`` of the id decomposition drives every bound in the
+paper (degree, path length, congestion), so §4 is about making joining
+servers pick ids that keep ``ρ`` small:
+
+* **Single Choice** — uniform id.  Lemma 4.1: longest segment
+  ``Θ(log n / n)``, shortest ``Θ(1/n²)`` ⇒ ``ρ = Θ(n log n)``.
+* **Improved Single Choice** — sample a point, split the *covering*
+  segment at its midpoint.  Lemma 4.2: shortest ``Θ(1/(n log n))``,
+  longest ``O(log n / n)`` ⇒ ``ρ = O(log² n)``.
+* **Multiple Choice** — sample ``t·log n`` points, split the longest
+  segment found.  Lemma 4.3: shortest ``≥ 1/4n`` w.h.p.; Theorem 4.4:
+  inserting ``n`` points *self-corrects* any adversarial configuration to
+  max segment ``O(1/n)``.
+
+Each strategy is a callable ``(network, rng) -> point`` usable directly
+as the ``selector`` of :meth:`repro.core.DistanceHalvingNetwork.join`,
+and also exposes ``select(segments, rng)`` for raw
+:class:`~repro.core.segments.SegmentMap` experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Protocol
+
+import numpy as np
+
+from ..core.interval import midpoint_between
+from ..core.segments import SegmentMap
+
+__all__ = [
+    "IdStrategy",
+    "SingleChoice",
+    "ImprovedSingleChoice",
+    "MultipleChoice",
+    "HybridChoice",
+    "estimate_log_n",
+]
+
+
+def estimate_log_n(segments: SegmentMap, point: float) -> int:
+    """Estimate ``log2 n`` from the gap to the ring predecessor (§6.2).
+
+    Viceroy's lemma (quoted as the display before Lemma 6.2):
+    ``log n − log log n − 1 ≤ log(1/d(x_i, x_{i-1})) ≤ 3 log n`` w.h.p.,
+    so ``round(log2(1/gap))`` is a multiplicative estimate of ``log n``.
+    For the *current* point the predecessor gap is measured after its own
+    insertion.
+    """
+    n = len(segments)
+    if n <= 1:
+        return 1
+    pred = segments.predecessor(point)
+    gap = (point - pred) % 1.0
+    if gap <= 0:
+        return 1
+    return max(1, round(math.log2(1.0 / gap)))
+
+
+class IdStrategy(Protocol):
+    """Interface of an id-selection strategy (step 1 of Algorithm Join)."""
+
+    def select(self, segments: SegmentMap, rng: np.random.Generator) -> float:
+        """Choose an id given the current decomposition."""
+        ...  # pragma: no cover
+
+    def __call__(self, net, rng: np.random.Generator) -> float:
+        ...  # pragma: no cover
+
+
+class SingleChoice:
+    """Algorithm Single Choice: a uniformly random id (§4)."""
+
+    name = "single"
+
+    def select(self, segments: SegmentMap, rng: np.random.Generator) -> float:
+        return float(rng.random())
+
+    def __call__(self, net, rng: np.random.Generator) -> float:
+        return self.select(net.segments, rng)
+
+
+class ImprovedSingleChoice:
+    """Improved Single Choice: split the covering segment at its midpoint (§4)."""
+
+    name = "improved"
+
+    def select(self, segments: SegmentMap, rng: np.random.Generator) -> float:
+        z = float(rng.random())
+        if len(segments) == 0:
+            return z
+        seg = segments.segment(segments.cover(z))
+        return float(seg.midpoint)
+
+    def __call__(self, net, rng: np.random.Generator) -> float:
+        return self.select(net.segments, rng)
+
+
+class HybridChoice:
+    """Local+random probing à la Kenthapadi–Manku (§4.2's pointer).
+
+    §4.2 cites [21]: the Multiple Choice analysis generalises to the
+    cheaper scheme probing *one* random location plus the ``r − 1``
+    segments following it in key space — the probes ride the existing
+    ring links instead of ``r`` independent lookups.  We implement it to
+    validate that remark: smoothness lands between Improved Single
+    Choice and full Multiple Choice at roughly one lookup per join.
+    """
+
+    name = "hybrid"
+
+    def __init__(self, r: Optional[int] = None):
+        if r is not None and r < 1:
+            raise ValueError("probe run length r must be >= 1")
+        self.r = r
+
+    def select(self, segments: SegmentMap, rng: np.random.Generator) -> float:
+        if len(segments) == 0:
+            return float(rng.random())
+        r = self.r if self.r is not None else max(
+            1, math.ceil(math.log2(max(2, len(segments))))
+        )
+        i = segments.cover(float(rng.random()))
+        n = len(segments)
+        best = i
+        best_len = float(segments.segment_length(i))
+        for k in range(1, min(r, n)):
+            j = (i + k) % n
+            length = float(segments.segment_length(j))
+            if length > best_len:
+                best, best_len = j, length
+        return float(segments.segment(best).midpoint)
+
+    def __call__(self, net, rng: np.random.Generator) -> float:
+        return self.select(net.segments, rng)
+
+
+class MultipleChoice:
+    """Multiple Choice Algorithm: probe ``t·log n`` segments, split the longest.
+
+    ``t`` is the paper's constant (Lemma 4.3 needs ``t ≥ 2``; the
+    self-correction proof of Theorem 4.4 uses ``t = 20``; we default to 4
+    which already exhibits both behaviours at experiment sizes).  When
+    ``log n`` cannot be read off the decomposition size (a real system
+    would not know ``n``), :func:`estimate_log_n` on a random probe is
+    used — set ``estimate=True`` to exercise that mode.
+    """
+
+    name = "multiple"
+
+    def __init__(self, t: int = 4, estimate: bool = False):
+        if t < 1:
+            raise ValueError("probe multiplier t must be >= 1")
+        self.t = int(t)
+        self.estimate = estimate
+
+    def _log_n(self, segments: SegmentMap, rng: np.random.Generator) -> int:
+        if not self.estimate:
+            return max(1, math.ceil(math.log2(max(2, len(segments)))))
+        z = float(rng.random())
+        return estimate_log_n(segments, segments.cover_point(z))
+
+    def select(self, segments: SegmentMap, rng: np.random.Generator) -> float:
+        if len(segments) == 0:
+            return float(rng.random())
+        probes = self.t * self._log_n(segments, rng)
+        samples = rng.random(probes)
+        best_idx = None
+        best_len = -1.0
+        seen: set[int] = set()
+        for z in samples:
+            i = segments.cover(float(z))
+            if i in seen:
+                continue
+            seen.add(i)
+            length = float(segments.segment_length(i))
+            if length > best_len:
+                best_len = length
+                best_idx = i
+        assert best_idx is not None
+        return float(segments.segment(best_idx).midpoint)
+
+    def __call__(self, net, rng: np.random.Generator) -> float:
+        return self.select(net.segments, rng)

@@ -1,0 +1,23 @@
+"""Baseline lookup schemes for the Table 1 comparison."""
+
+from .base import BaselineDHT, MeasuredRow, measure_scheme
+from .can import CanNetwork
+from .chord import ChordNetwork
+from .dh_adapter import DistanceHalvingAdapter
+from .kleinberg import KleinbergRing
+from .koorde import KoordeNetwork
+from .tapestry import TapestryNetwork
+from .viceroy import ViceroyNetwork
+
+__all__ = [
+    "BaselineDHT",
+    "CanNetwork",
+    "ChordNetwork",
+    "DistanceHalvingAdapter",
+    "KleinbergRing",
+    "KoordeNetwork",
+    "MeasuredRow",
+    "TapestryNetwork",
+    "ViceroyNetwork",
+    "measure_scheme",
+]

@@ -1,0 +1,125 @@
+"""Common interface for the Table 1 baseline lookup schemes.
+
+The paper's Table 1 compares lookup schemes on three axes — expected
+path length, congestion and linkage (degree).  Every baseline implements
+:class:`BaselineDHT` so the E1 harness can measure all schemes uniformly:
+
+============  ===============  ==================  =========
+scheme        path length      congestion          linkage
+============  ===============  ==================  =========
+Chord         log n            (log n)/n           log n
+Tapestry      log n            (log n)/n           log n
+CAN           d·n^{1/d}        d·n^{1/d - 1}       d
+Small Worlds  log² n           (log² n)/n          O(1)
+Viceroy       log n            (log n)/n           O(1)
+Koorde/DH     log_d n          (log_d n)/n         O(d)
+============  ===============  ==================  =========
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BaselineDHT", "MeasuredRow", "measure_scheme"]
+
+
+class BaselineDHT(abc.ABC):
+    """A static lookup scheme on ``n`` nodes.
+
+    Nodes are identified by opaque hashables; ``lookup_path`` returns the
+    node sequence a lookup message traverses (first element the source,
+    last the owner of the target point).
+    """
+
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Number of nodes."""
+
+    @abc.abstractmethod
+    def node_ids(self) -> Sequence:
+        """All node identifiers."""
+
+    @abc.abstractmethod
+    def owner(self, target: float) -> object:
+        """The node responsible for a point of ``[0, 1)``."""
+
+    @abc.abstractmethod
+    def lookup_path(self, source, target: float, rng: np.random.Generator) -> List:
+        """Route a lookup; returns the visited node sequence."""
+
+    @abc.abstractmethod
+    def degree(self, node) -> int:
+        """Number of distinct links the node maintains."""
+
+    # ------------------------------------------------------------- derived
+    def max_degree(self) -> int:
+        return max(self.degree(v) for v in self.node_ids())
+
+    def mean_degree(self) -> float:
+        ids = list(self.node_ids())
+        return sum(self.degree(v) for v in ids) / len(ids)
+
+
+@dataclass
+class MeasuredRow:
+    """One measured Table 1 row for one scheme at one size."""
+
+    scheme: str
+    n: int
+    mean_path: float
+    max_path: float
+    max_congestion: float
+    mean_degree: float
+    max_degree: int
+    lookups: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "scheme": self.scheme,
+            "n": self.n,
+            "mean_path": self.mean_path,
+            "max_path": self.max_path,
+            "max_congestion": self.max_congestion,
+            "mean_degree": self.mean_degree,
+            "max_degree": self.max_degree,
+            "lookups": self.lookups,
+        }
+
+
+def measure_scheme(
+    dht: BaselineDHT, rng: np.random.Generator, lookups: int = 2000
+) -> MeasuredRow:
+    """Route ``lookups`` random (source, point) queries and aggregate.
+
+    This is Definition 3's experiment: sources uniform over nodes,
+    targets uniform over ``[0, 1)``; congestion is the max per-node visit
+    frequency.
+    """
+    ids = list(dht.node_ids())
+    visits: Counter = Counter()
+    lengths = np.empty(lookups)
+    for k in range(lookups):
+        src = ids[int(rng.integers(len(ids)))]
+        target = float(rng.random())
+        path = dht.lookup_path(src, target, rng)
+        lengths[k] = len(path) - 1
+        for v in path:
+            visits[v] += 1
+    return MeasuredRow(
+        scheme=dht.name,
+        n=dht.n,
+        mean_path=float(lengths.mean()),
+        max_path=float(lengths.max()),
+        max_congestion=max(visits.values()) / lookups,
+        mean_degree=dht.mean_degree(),
+        max_degree=dht.max_degree(),
+        lookups=lookups,
+    )

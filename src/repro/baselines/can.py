@@ -1,0 +1,207 @@
+"""CAN — the Content Addressable Network (Ratnasamy et al., SIGCOMM 2001).
+
+Table 1 row: with dimension ``d``, path length ``d·n^{1/d}``, congestion
+``d·n^{1/d-1}``, linkage ``d`` (2d face neighbours).  The d-dimensional
+torus ``[0,1)^d`` is partitioned into boxes by successive joins — each
+join splits the box containing a random point along its longest side —
+and routing greedily forwards toward the target through face neighbours.
+
+Only the first coordinate participates in the 1D target interface of
+:class:`~repro.baselines.base.BaselineDHT`; full d-dimensional targets
+are derived from the 1D point via digit interleaving so the target
+distribution stays uniform over the torus.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import BaselineDHT
+
+__all__ = ["CanNetwork"]
+
+
+class _Box:
+    """An axis-aligned box of the torus (half-open in every dimension)."""
+
+    __slots__ = ("lo", "hi", "index")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, index: int):
+        self.lo = lo
+        self.hi = hi
+        self.index = index
+
+    def contains(self, p: np.ndarray) -> bool:
+        return bool(np.all(self.lo <= p) and np.all(p < self.hi))
+
+    def center(self) -> np.ndarray:
+        return (self.lo + self.hi) / 2
+
+    def split(self, new_index: int) -> "_Box":
+        """Halve along the longest side; returns the new upper box."""
+        dim = int(np.argmax(self.hi - self.lo))
+        mid = (self.lo[dim] + self.hi[dim]) / 2
+        upper_lo = self.lo.copy()
+        upper_lo[dim] = mid
+        upper = _Box(upper_lo, self.hi.copy(), new_index)
+        new_hi = self.hi.copy()
+        new_hi[dim] = mid
+        self.hi = new_hi
+        return upper
+
+
+def _torus_delta(a: float, b: float) -> float:
+    d = abs(a - b)
+    return min(d, 1.0 - d)
+
+
+class CanNetwork(BaselineDHT):
+    """A static CAN on ``n`` zones in ``d`` dimensions."""
+
+    name = "can"
+
+    def __init__(self, n: int, rng: np.random.Generator, d: int = 2):
+        if n < 2:
+            raise ValueError("need at least two zones")
+        if d < 1:
+            raise ValueError("dimension must be >= 1")
+        self.d = d
+        self.name = f"can(d={d})"
+        first = _Box(np.zeros(d), np.ones(d), 0)
+        self.boxes: List[_Box] = [first]
+        for k in range(1, n):
+            p = rng.random(d)
+            target = next(b for b in self.boxes if b.contains(p))
+            self.boxes.append(target.split(k))
+        self._build_neighbors()
+
+    def _build_neighbors(self) -> None:
+        """Face adjacency: overlap in d-1 dims, touching (mod 1) in one."""
+        nb: List[set] = [set() for _ in self.boxes]
+        for i, a in enumerate(self.boxes):
+            for j in range(i + 1, len(self.boxes)):
+                b = self.boxes[j]
+                touch_dim = -1
+                ok = True
+                for dim in range(self.d):
+                    lo1, hi1 = a.lo[dim], a.hi[dim]
+                    lo2, hi2 = b.lo[dim], b.hi[dim]
+                    overlap = min(hi1, hi2) - max(lo1, lo2)
+                    if overlap > 0:
+                        continue
+                    touching = (
+                        hi1 == lo2 or hi2 == lo1
+                        or (hi1 == 1.0 and lo2 == 0.0)
+                        or (hi2 == 1.0 and lo1 == 0.0)
+                    )
+                    if touching and touch_dim < 0:
+                        touch_dim = dim
+                    else:
+                        ok = False
+                        break
+                if ok and touch_dim >= 0:
+                    nb[i].add(j)
+                    nb[j].add(i)
+        self.neighbors: List[List[int]] = [sorted(s) for s in nb]
+
+    # ------------------------------------------------------------- targets
+    def point_to_coords(self, y: float) -> np.ndarray:
+        """Spread a 1D point over the torus by interleaving its bits."""
+        y = y % 1.0
+        bits = 48
+        v = int(y * (1 << bits))
+        coords = np.zeros(self.d)
+        scale = np.ones(self.d)
+        for k in range(bits):
+            dim = k % self.d
+            scale[dim] /= 2
+            if (v >> (bits - 1 - k)) & 1:
+                coords[dim] += scale[dim]
+        return coords
+
+    def _zone_of(self, p: np.ndarray) -> int:
+        for b in self.boxes:
+            if b.contains(p):
+                return b.index
+        raise AssertionError("torus point uncovered")  # pragma: no cover
+
+    # ------------------------------------------------------------ interface
+    @property
+    def n(self) -> int:
+        return len(self.boxes)
+
+    def node_ids(self) -> Sequence[int]:
+        return range(len(self.boxes))
+
+    def owner(self, target: float) -> int:
+        return self._zone_of(self.point_to_coords(target))
+
+    def degree(self, node: int) -> int:
+        return len(self.neighbors[node])
+
+    def _face_neighbor(self, box_idx: int, dim: int, direction: int,
+                       p: np.ndarray) -> int:
+        """The face neighbour of ``box`` crossed when leaving along ``dim``.
+
+        ``direction`` +1 means leaving through ``hi[dim]`` (possibly
+        wrapping to 0), −1 through ``lo[dim]``.  The neighbour must
+        contain ``p`` in every other dimension — faces tile the boundary,
+        so exactly one such neighbour exists.
+        """
+        cur = self.boxes[box_idx]
+        for j in self.neighbors[box_idx]:
+            b = self.boxes[j]
+            if direction > 0:
+                touching = b.lo[dim] == cur.hi[dim] or (
+                    cur.hi[dim] == 1.0 and b.lo[dim] == 0.0
+                )
+            else:
+                touching = b.hi[dim] == cur.lo[dim] or (
+                    cur.lo[dim] == 0.0 and b.hi[dim] == 1.0
+                )
+            if not touching:
+                continue
+            if all(
+                b.lo[k] <= p[k] < b.hi[k] for k in range(self.d) if k != dim
+            ):
+                return j
+        raise AssertionError("torus faces must tile")  # pragma: no cover
+
+    def lookup_path(self, source: int, target: float, rng: np.random.Generator
+                    ) -> List[int]:
+        """Straight-line CAN routing: fix one coordinate at a time.
+
+        For each dimension, walk through face neighbours in the shorter
+        torus direction until the current zone spans the target's
+        coordinate, then pin that coordinate and proceed to the next
+        dimension — the canonical greedy giving ``(d/4)·n^{1/d}`` expected
+        hops.
+        """
+        goal_p = self.point_to_coords(target)
+        path = [source]
+        current = source
+        p = self.boxes[current].center()
+        for dim in range(self.d):
+            cur = self.boxes[current]
+            # shorter torus direction from the zone to the goal coordinate
+            fwd = (goal_p[dim] - cur.lo[dim]) % 1.0
+            back = (cur.hi[dim] - goal_p[dim]) % 1.0
+            direction = 1 if fwd <= back + 1e-12 else -1
+            guard = 0
+            while not (cur.lo[dim] <= goal_p[dim] < cur.hi[dim]):
+                nxt = self._face_neighbor(current, dim, direction, p)
+                # entering coordinate along dim
+                p[dim] = self.boxes[nxt].lo[dim] if direction > 0 else (
+                    self.boxes[nxt].hi[dim] - 1e-12
+                )
+                current = nxt
+                cur = self.boxes[current]
+                path.append(current)
+                guard += 1
+                if guard > 4 * len(self.boxes):  # pragma: no cover
+                    raise RuntimeError("CAN lookup failed to converge")
+            p[dim] = goal_p[dim]
+        return path

@@ -1,0 +1,101 @@
+"""Chord (Stoica et al., SIGCOMM 2001) on the continuous ring.
+
+Table 1 row: path length ``log n``, congestion ``(log n)/n``, linkage
+``log n``.  Implemented with real-valued ids in ``[0, 1)``: finger ``j``
+of node ``x`` is the successor of ``x + 2^{-j}``; a point is owned by its
+successor node.  Routing is the standard greedy closest-preceding-finger
+walk, giving ``O(log n)`` hops (≈ ½·log₂ n in expectation).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .base import BaselineDHT
+
+__all__ = ["ChordNetwork"]
+
+
+class ChordNetwork(BaselineDHT):
+    """A static Chord overlay on ``n`` uniformly random node ids."""
+
+    name = "chord"
+
+    def __init__(self, n: int, rng: np.random.Generator):
+        if n < 2:
+            raise ValueError("need at least two nodes")
+        self.points: List[float] = sorted(float(p) for p in rng.random(n))
+        self.m = max(1, math.ceil(math.log2(n))) + 1  # finger levels
+        self.fingers: Dict[float, List[float]] = {}
+        for x in self.points:
+            fl = []
+            for j in range(1, self.m + 1):
+                fl.append(self._successor((x + 2.0**-j) % 1.0))
+            # dedupe while keeping the farthest-first ordering meaningful
+            self.fingers[x] = fl
+
+    # ------------------------------------------------------------- geometry
+    def _successor(self, y: float) -> float:
+        """First node clockwise at or after ``y`` (owner of ``y``)."""
+        i = bisect_left(self.points, y)
+        return self.points[i % len(self.points)]
+
+    @staticmethod
+    def _clockwise(frm: float, to: float) -> float:
+        """Clockwise distance from ``frm`` to ``to`` on the ring."""
+        return (to - frm) % 1.0
+
+    def _in_open_interval(self, y: float, a: float, b: float) -> bool:
+        """y ∈ (a, b] clockwise."""
+        return 0 < self._clockwise(a, y) <= self._clockwise(a, b)
+
+    # ------------------------------------------------------------ interface
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    def node_ids(self) -> Sequence[float]:
+        return self.points
+
+    def owner(self, target: float) -> float:
+        return self._successor(target % 1.0)
+
+    def degree(self, node: float) -> int:
+        succ = self._successor((node + 1e-15) % 1.0)
+        return len(set(self.fingers[node]) | {succ})
+
+    def lookup_path(self, source: float, target: float, rng: np.random.Generator
+                    ) -> List[float]:
+        target = target % 1.0
+        own = self.owner(target)
+        path = [source]
+        current = source
+        for _ in range(4 * self.m + self.n):  # safety bound
+            if current == own:
+                return path
+            succ = self._successor((current + 1e-15) % 1.0)
+            if self._in_open_interval(target, current, succ):
+                path.append(succ)
+                return path
+            # closest preceding finger of target
+            best = succ
+            best_d = self._clockwise(current, succ)
+            for f in self.fingers[current]:
+                if f == current:
+                    continue
+                d = self._clockwise(current, f)
+                # f must strictly precede the target (not pass it)
+                if d <= best_d:
+                    continue
+                if self._clockwise(current, f) < self._clockwise(current, target) or (
+                    f == target
+                ):
+                    best = f
+                    best_d = d
+            path.append(best)
+            current = best
+        raise RuntimeError("chord lookup failed to converge")  # pragma: no cover

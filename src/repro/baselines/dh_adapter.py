@@ -1,0 +1,67 @@
+"""Adapter exposing the Distance Halving DHT as a Table 1 scheme.
+
+Lets the E1 harness measure our construction with exactly the same
+driver as the baselines.  Two lookup modes (the paper's §2.2.1 and
+§2.2.2) and arbitrary degree parameter Δ (§2.3) are supported, so the
+Table 1 row "Distance Halving, 2 ≤ d ≤ √n" can be traced across ``d``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..balance.strategies import MultipleChoice
+from ..core.lookup import dh_lookup, fast_lookup
+from ..core.network import DistanceHalvingNetwork
+from .base import BaselineDHT
+
+__all__ = ["DistanceHalvingAdapter"]
+
+
+class DistanceHalvingAdapter(BaselineDHT):
+    """Distance Halving as a measurable lookup scheme.
+
+    ``mode`` selects Fast Lookup (deterministic, §2.2.1) or the two-phase
+    Distance Halving Lookup (randomised, §2.2.2).  ``balanced`` joins the
+    servers with the §4 Multiple Choice strategy — the configuration the
+    paper's Table 1 row assumes (smooth ids); ``balanced=False`` uses
+    uniform ids for the ablation.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        delta: int = 2,
+        mode: str = "dh",
+        balanced: bool = True,
+    ):
+        if mode not in ("dh", "fast"):
+            raise ValueError("mode must be 'dh' or 'fast'")
+        self.mode = mode
+        self.name = f"distance-halving(d={delta},{mode})"
+        self.net = DistanceHalvingNetwork(delta=delta, rng=rng)
+        selector = MultipleChoice(t=4) if balanced else None
+        self.net.populate(n, selector=selector)
+
+    @property
+    def n(self) -> int:
+        return self.net.n
+
+    def node_ids(self) -> Sequence[float]:
+        return self.net.points()
+
+    def owner(self, target: float) -> float:
+        return self.net.segments.cover_point(target)
+
+    def degree(self, node: float) -> int:
+        return self.net.degree(node)
+
+    def lookup_path(self, source: float, target: float, rng: np.random.Generator
+                    ) -> List[float]:
+        if self.mode == "fast":
+            return fast_lookup(self.net, source, target).server_path
+        return dh_lookup(self.net, source, target, rng).server_path

@@ -1,0 +1,82 @@
+"""Kleinberg's small-world ring (STOC 2000) — Table 1's "Small Worlds" row.
+
+One-dimensional navigable small world: ``n`` nodes on a ring lattice with
+local edges to both neighbours and one long-range contact drawn from the
+inverse-distance (harmonic) distribution — the unique exponent at which
+greedy routing achieves polylogarithmic ``O(log² n)`` delivery time, with
+constant linkage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .base import BaselineDHT
+
+__all__ = ["KleinbergRing"]
+
+
+class KleinbergRing(BaselineDHT):
+    """Greedy-routable 1D small world with one harmonic long link per node."""
+
+    name = "small-world"
+
+    def __init__(self, n: int, rng: np.random.Generator, long_links: int = 1):
+        if n < 3:
+            raise ValueError("need at least three nodes")
+        self.size = n
+        self.long: Dict[int, List[int]] = {}
+        # harmonic distribution over ring distance 1..n/2
+        dists = np.arange(1, n // 2 + 1, dtype=float)
+        probs = 1.0 / dists
+        probs /= probs.sum()
+        for u in range(n):
+            links = []
+            for _ in range(long_links):
+                d = int(rng.choice(dists, p=probs))
+                sign = 1 if rng.random() < 0.5 else -1
+                links.append((u + sign * d) % n)
+            self.long[u] = links
+
+    # ------------------------------------------------------------- geometry
+    def _ring_dist(self, a: int, b: int) -> int:
+        d = abs(a - b)
+        return min(d, self.size - d)
+
+    def _node_of_point(self, y: float) -> int:
+        return int((y % 1.0) * self.size) % self.size
+
+    # ------------------------------------------------------------ interface
+    @property
+    def n(self) -> int:
+        return self.size
+
+    def node_ids(self) -> Sequence[int]:
+        return range(self.size)
+
+    def owner(self, target: float) -> int:
+        return self._node_of_point(target)
+
+    def degree(self, node: int) -> int:
+        return len({(node - 1) % self.size, (node + 1) % self.size, *self.long[node]})
+
+    def lookup_path(self, source: int, target: float, rng: np.random.Generator
+                    ) -> List[int]:
+        goal = self._node_of_point(target)
+        path = [source]
+        current = source
+        while current != goal:
+            neighbors = [(current - 1) % self.size, (current + 1) % self.size]
+            neighbors += self.long[current]
+            nxt = min(neighbors, key=lambda v: self._ring_dist(v, goal))
+            # greedy always makes progress via the lattice edges
+            if self._ring_dist(nxt, goal) >= self._ring_dist(current, goal):
+                nxt = (current + 1) % self.size if (
+                    self._ring_dist((current + 1) % self.size, goal)
+                    < self._ring_dist((current - 1) % self.size, goal)
+                ) else (current - 1) % self.size
+            path.append(nxt)
+            current = nxt
+        return path

@@ -1,0 +1,110 @@
+"""Koorde (Kaashoek & Karger, IPTPS 2003) — the direct De Bruijn DHT.
+
+The paper (§1.1) contrasts its continuous-discrete De Bruijn emulation
+with the "direct" emulations of Fraigniaud–Gauron, Kaashoek–Karger and
+Abraham et al.  Koorde is the cleanest of those: each node keeps its ring
+successor and one De Bruijn pointer ``d = predecessor(2m)``, and routing
+shifts the target's bits into an *imaginary* De Bruijn node, hopping to
+``d`` when the imaginary node doubles and to the successor to re-align —
+``O(log n)`` hops with constant linkage.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .base import BaselineDHT
+
+__all__ = ["KoordeNetwork"]
+
+
+class KoordeNetwork(BaselineDHT):
+    """A static Koorde overlay on the continuous ring."""
+
+    name = "koorde"
+
+    def __init__(self, n: int, rng: np.random.Generator):
+        if n < 2:
+            raise ValueError("need at least two nodes")
+        self.points: List[float] = sorted(float(p) for p in rng.random(n))
+        self.bits = max(1, math.ceil(math.log2(n))) + 2
+        self.debruijn: Dict[float, float] = {
+            x: self._predecessor((2 * x) % 1.0) for x in self.points
+        }
+
+    # ------------------------------------------------------------- geometry
+    def _successor(self, y: float) -> float:
+        i = bisect_left(self.points, y % 1.0)
+        return self.points[i % len(self.points)]
+
+    def _predecessor(self, y: float) -> float:
+        i = bisect_right(self.points, y % 1.0) - 1
+        return self.points[i % len(self.points)]
+
+    @staticmethod
+    def _in_interval(y: float, a: float, b: float) -> bool:
+        """y ∈ (a, b] clockwise on the ring."""
+        return 0 < (y - a) % 1.0 <= (b - a) % 1.0
+
+    # ------------------------------------------------------------ interface
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    def node_ids(self) -> Sequence[float]:
+        return self.points
+
+    def owner(self, target: float) -> float:
+        return self._successor(target % 1.0)
+
+    def degree(self, node: float) -> int:
+        succ = self._successor((node + 1e-15) % 1.0)
+        pred = self._predecessor((node - 1e-15) % 1.0)
+        return len({succ, pred, self.debruijn[node]} - {node})
+
+    def lookup_path(self, source: float, target: float, rng: np.random.Generator
+                    ) -> List[float]:
+        """Koorde's imaginary-node routing.
+
+        The imaginary position ``i`` starts at the source and absorbs one
+        target bit per De Bruijn hop: ``i ← 2i + b (mod 1)``.  The real
+        message sits at the node preceding ``i``; successor hops realign
+        when the imaginary point drifts outside the current segment.
+        """
+        target = target % 1.0
+        path = [source]
+        current = source
+        # target bits, most significant first
+        kshift = int(target * (1 << self.bits))
+        bits_left = self.bits
+        # the imaginary node starts just ahead of the source so the first
+        # De Bruijn hop can fire (i ∈ (m, successor] in Koorde's pseudocode).
+        # Truncate it to B bits: after B left-shifts its own bits must have
+        # flushed out completely, leaving exactly the target's bits.
+        imaginary = self._successor((source + 1e-15) % 1.0)
+        imaginary = math.ceil(imaginary * (1 << self.bits)) / (1 << self.bits) % 1.0
+        guard = 0
+        while guard < 8 * self.bits + 2 * self.n:
+            guard += 1
+            succ = self._successor((current + 1e-15) % 1.0)
+            if self._in_interval(target, current, succ):
+                if succ != current:
+                    path.append(succ)
+                return path
+            if bits_left > 0 and self._in_interval(imaginary, current, succ):
+                # shift one target bit into the imaginary node (low end of
+                # its B-bit window) and follow the De Bruijn pointer
+                b = (kshift >> (bits_left - 1)) & 1
+                bits_left -= 1
+                imaginary = (2 * imaginary + b / (1 << self.bits)) % 1.0
+                nxt = self.debruijn[current]
+            else:
+                nxt = succ
+            if nxt != current:
+                path.append(nxt)
+            current = nxt
+        raise RuntimeError("koorde lookup failed to converge")  # pragma: no cover

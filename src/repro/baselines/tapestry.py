@@ -1,0 +1,134 @@
+"""Tapestry / Pastry-style prefix (Plaxton) routing — Table 1's second row.
+
+Nodes carry base-``b`` digit ids (derived from their ring points); each
+node keeps, for every prefix length ``ℓ`` and digit ``v``, a link to some
+node agreeing with it on the first ``ℓ`` digits and having ``v`` next
+(the Plaxton mesh).  Routing fixes one digit per hop — ``log_b n`` hops
+with ``b·log_b n`` linkage.  Missing table entries fall back to surrogate
+routing (deterministically take the next existing digit), which makes the
+root of every target well defined exactly as in Plaxton/Tapestry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import BaselineDHT
+
+__all__ = ["TapestryNetwork"]
+
+
+class TapestryNetwork(BaselineDHT):
+    """A static Plaxton mesh over ``n`` random node ids."""
+
+    name = "tapestry"
+
+    def __init__(self, n: int, rng: np.random.Generator, base: int = 4):
+        if n < 2:
+            raise ValueError("need at least two nodes")
+        if base < 2:
+            raise ValueError("digit base must be >= 2")
+        self.base = base
+        self.levels = max(1, math.ceil(math.log(n, base))) + 2
+        self.points: List[float] = sorted(float(p) for p in rng.random(n))
+        self.ids: List[Tuple[int, ...]] = [self._digits(p) for p in self.points]
+        self._by_id: Dict[Tuple[int, ...], int] = {d: i for i, d in enumerate(self.ids)}
+        self._build_tables(rng)
+
+    def _digits(self, y: float) -> Tuple[int, ...]:
+        v = int((y % 1.0) * self.base**self.levels)
+        out = []
+        for k in range(self.levels - 1, -1, -1):
+            out.append((v // self.base**k) % self.base)
+        return tuple(out)
+
+    def _build_tables(self, rng: np.random.Generator) -> None:
+        """table[node][ℓ][v] = a node matching ids[node][:ℓ] + (v,), or None."""
+        # bucket nodes by prefix for O(n · levels) construction
+        by_prefix: Dict[Tuple[int, ...], List[int]] = {}
+        for i, ident in enumerate(self.ids):
+            for ell in range(self.levels + 1):
+                by_prefix.setdefault(ident[:ell], []).append(i)
+        self.table: List[List[List[Optional[int]]]] = []
+        for i, ident in enumerate(self.ids):
+            rows: List[List[Optional[int]]] = []
+            for ell in range(self.levels):
+                row: List[Optional[int]] = []
+                for v in range(self.base):
+                    cands = by_prefix.get(ident[:ell] + (v,), [])
+                    if not cands:
+                        row.append(None)
+                    else:
+                        # Random choice among the bucket (real Tapestry picks
+                        # by network proximity) spreads relay load evenly.
+                        # The digit fixed per hop depends only on the global
+                        # bucket *availability*, and the deepest buckets are
+                        # singletons, so every target's Plaxton root remains
+                        # unique regardless of these choices.
+                        row.append(cands[int(rng.integers(len(cands)))])
+                rows.append(row)
+            self.table.append(rows)
+        # nodes sharing a *full* id (possible at finite digit length) keep a
+        # sibling link to a canonical member, so every root is unique
+        self._canonical: Dict[Tuple[int, ...], int] = {}
+        for i, ident in enumerate(self.ids):
+            self._canonical.setdefault(ident, i)
+
+    # ------------------------------------------------------------- routing
+    def _route(self, source: int, digits: Tuple[int, ...]) -> List[int]:
+        """Stateful Plaxton descent: fix one digit per level.
+
+        At level ``ℓ`` the desired digit is ``digits[ℓ]``; if no node
+        carries the resolved prefix plus that digit, surrogate routing
+        substitutes the cyclically-next *available* digit and continues —
+        availability is a global property of the prefix, so every source
+        resolves the same digit string and reaches the same root.
+        """
+        path = [source]
+        current = source
+        for ell in range(self.levels):
+            desired = digits[ell]
+            hop = None
+            for off in range(self.base):
+                cand = self.table[current][ell][(desired + off) % self.base]
+                if cand is not None:
+                    hop = cand
+                    break
+            if hop is None:  # pragma: no cover - own bucket is never empty
+                return path
+            if hop != current:
+                path.append(hop)
+                current = hop
+        # normalise within the (rare) full-id-collision bucket
+        root = self._canonical[self.ids[current]]
+        if root != current:
+            path.append(root)
+        return path
+
+    # ------------------------------------------------------------ interface
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    def node_ids(self) -> Sequence[int]:
+        return range(len(self.points))
+
+    def owner(self, target: float) -> int:
+        """The Plaxton root: where surrogate routing terminates."""
+        return self._route(0, self._digits(target % 1.0))[-1]
+
+    def degree(self, node: int) -> int:
+        links = {
+            hop
+            for rows in self.table[node]
+            for hop in rows
+            if hop is not None and hop != node
+        }
+        return len(links)
+
+    def lookup_path(self, source: int, target: float, rng: np.random.Generator
+                    ) -> List[int]:
+        return self._route(source, self._digits(target % 1.0))

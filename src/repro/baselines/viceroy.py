@@ -1,0 +1,147 @@
+"""Viceroy (Malkhi, Naor & Ratajczak, PODC 2002) — butterfly emulation.
+
+Table 1 row: path length ``log n``, congestion ``(log n)/n``, linkage
+``O(1)``.  Viceroy approximates a butterfly: every node draws a level
+``ℓ ∈ {1..log n}`` (here from its predecessor-gap estimate of ``log n``,
+the paper's own §6.2 estimator), keeps ring links, same-level ring links,
+one *up* link (nearest level-``ℓ−1`` node), and two *down* links (nearest
+level-``ℓ+1`` nodes at ``x`` and ``x + 2^{-ℓ}``).  Routing proceeds in
+the three canonical phases: climb to level 1, descend the butterfly
+halving the distance scale per level, then walk the ring.
+
+This is the faithful-parameter simplification documented in DESIGN.md:
+it preserves Viceroy's constant degree and Θ(log n) routing, which is
+what the Table 1 comparison measures.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import BaselineDHT
+
+__all__ = ["ViceroyNetwork"]
+
+
+class ViceroyNetwork(BaselineDHT):
+    """A static simplified Viceroy overlay."""
+
+    name = "viceroy"
+
+    def __init__(self, n: int, rng: np.random.Generator):
+        if n < 4:
+            raise ValueError("need at least four nodes")
+        self.points: List[float] = sorted(float(p) for p in rng.random(n))
+        self.max_level = max(1, round(math.log2(n)))
+        # level via the predecessor-gap estimator, clamped to [1, log n]
+        self.level: Dict[float, int] = {}
+        for i, x in enumerate(self.points):
+            gap = (x - self.points[i - 1]) % 1.0
+            est = max(1, round(math.log2(1.0 / gap))) if gap > 0 else self.max_level
+            lvl = 1 + int(rng.integers(0, min(est, self.max_level)))
+            self.level[x] = min(lvl, self.max_level)
+        self._by_level: Dict[int, List[float]] = {}
+        for x, l in self.level.items():
+            self._by_level.setdefault(l, []).append(x)
+        for l in self._by_level:
+            self._by_level[l].sort()
+        # ensure level 1 is inhabited (promote the first node if needed)
+        if 1 not in self._by_level:
+            x0 = self.points[0]
+            self._by_level.setdefault(1, []).append(x0)
+            self._by_level[self.level[x0]].remove(x0)
+            self.level[x0] = 1
+        self.links: Dict[float, List[float]] = {x: self._make_links(x) for x in self.points}
+
+    # ------------------------------------------------------------- topology
+    def _ring_succ(self, y: float) -> float:
+        i = bisect_left(self.points, y)
+        return self.points[i % len(self.points)]
+
+    def _nearest_at_level(self, y: float, lvl: int) -> float:
+        """First level-``lvl`` node clockwise from ``y`` (or any fallback)."""
+        nodes = self._by_level.get(lvl)
+        if not nodes:
+            return self._ring_succ(y)
+        i = bisect_left(nodes, y)
+        return nodes[i % len(nodes)]
+
+    def _make_links(self, x: float) -> List[float]:
+        lvl = self.level[x]
+        eps = 1e-15
+        links = {
+            self._ring_succ((x + eps) % 1.0),                      # ring succ
+            self.points[(bisect_left(self.points, x) - 1) % self.n],  # ring pred
+        }
+        # same-level ring
+        links.add(self._nearest_at_level((x + eps) % 1.0, lvl))
+        # up
+        if lvl > 1:
+            links.add(self._nearest_at_level(x, lvl - 1))
+        # down-left / down-right
+        if lvl < self.max_level:
+            links.add(self._nearest_at_level(x, lvl + 1))
+            links.add(self._nearest_at_level((x + 2.0**-lvl) % 1.0, lvl + 1))
+        links.discard(x)
+        return sorted(links)
+
+    # ------------------------------------------------------------ interface
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    def node_ids(self) -> Sequence[float]:
+        return self.points
+
+    def owner(self, target: float) -> float:
+        return self._ring_succ(target % 1.0)
+
+    def degree(self, node: float) -> int:
+        return len(self.links[node])
+
+    def lookup_path(self, source: float, target: float, rng: np.random.Generator
+                    ) -> List[float]:
+        target = target % 1.0
+        own = self.owner(target)
+        path = [source]
+        current = source
+
+        def dist(a: float) -> float:
+            return (target - a) % 1.0  # clockwise distance to target
+
+        # Phase 1: climb to level 1.
+        guard = 0
+        while self.level[current] > 1 and guard < 4 * self.max_level:
+            ups = [v for v in self.links[current] if self.level[v] < self.level[current]]
+            if not ups:
+                break
+            current = min(ups, key=lambda v: self.level[v])
+            path.append(current)
+            guard += 1
+        # Phase 2: descend, greedily halving clockwise distance.
+        guard = 0
+        while current != own and guard < 4 * self.max_level:
+            downs = [v for v in self.links[current] if self.level[v] > self.level[current]]
+            best = None
+            for v in downs:
+                if dist(v) <= dist(current) and (best is None or dist(v) < dist(best)):
+                    best = v
+            if best is None:
+                break
+            current = best
+            path.append(current)
+            guard += 1
+        # Phase 3: ring walk (clockwise) to the owner.
+        guard = 0
+        while current != own and guard < self.n:
+            nxt = min(self.links[current], key=dist)
+            if dist(nxt) >= dist(current):
+                nxt = self._ring_succ((current + 1e-15) % 1.0)
+            current = nxt
+            path.append(current)
+            guard += 1
+        return path

@@ -1,0 +1,43 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run E1 E3 --quick
+    repro-experiments run all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the experiments of Naor & Wieder (SPAA 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    runp = sub.add_parser("run", help="run experiments")
+    runp.add_argument("names", nargs="+", help="experiment ids or 'all'")
+    runp.add_argument("--quick", action="store_true", help="smaller sizes")
+    runp.add_argument("--seed", type=int, default=0)
+    runp.add_argument("--out", default=None, help="directory for JSON results")
+    args = parser.parse_args(argv)
+
+    from .experiments.runner import EXPERIMENT_IDS, run_experiments
+
+    if args.command == "list":
+        for name in EXPERIMENT_IDS:
+            print(name)
+        return 0
+    results = run_experiments(args.names, seed=args.seed, quick=args.quick,
+                              out_dir=args.out)
+    return 0 if all(r.passed for r in results) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Core library: the paper's primary contribution (§2–§3).
+
+The Distance Halving DHT — continuous graph, dynamic discretization,
+lookup algorithms, and the coupled dynamic-caching protocol.
+"""
+
+from .caching import ActiveTree, CachedLookup, CacheSystem
+from .continuous import ContinuousGraph, binary_digits, digits_to_point
+from .debruijn import (
+    bit_reversal,
+    debruijn_diameter,
+    debruijn_graph,
+    distance_halving_is_debruijn,
+)
+from .interval import (
+    Arc,
+    arcs_cover_ring,
+    full_arc,
+    linear_distance,
+    midpoint_between,
+    normalize,
+    ring_distance,
+)
+from .lookup import MAX_WALK_STEPS, LookupResult, dh_lookup, fast_lookup
+from .network import DistanceHalvingNetwork
+from .node import Server
+from .pathtree import PathTree
+from .routing_stats import CongestionCounter, path_lengths
+from .segments import SegmentMap
+
+__all__ = [
+    "ActiveTree",
+    "Arc",
+    "CacheSystem",
+    "CachedLookup",
+    "CongestionCounter",
+    "ContinuousGraph",
+    "DistanceHalvingNetwork",
+    "LookupResult",
+    "MAX_WALK_STEPS",
+    "PathTree",
+    "SegmentMap",
+    "Server",
+    "arcs_cover_ring",
+    "binary_digits",
+    "bit_reversal",
+    "debruijn_diameter",
+    "debruijn_graph",
+    "dh_lookup",
+    "digits_to_point",
+    "distance_halving_is_debruijn",
+    "fast_lookup",
+    "full_arc",
+    "linear_distance",
+    "midpoint_between",
+    "normalize",
+    "path_lengths",
+    "ring_distance",
+]

@@ -1,0 +1,293 @@
+"""Dynamic caching — the hot-spot relief protocol of paper §3.
+
+The protocol couples cache trees with the overlay itself: the cache tree
+of item ``i`` *is* the path tree rooted at ``h(i)``, whose nodes the
+Distance Halving lookup already traverses.  Replication therefore needs
+no extra connections and adds no lookup latency ("No Caching Latency").
+
+Protocol (Continuous Hot Spots Protocol, §3.1):
+
+1. every *leaf* of the active tree counts the requests it supplies during
+   an epoch; past the threshold ``c`` it replicates the item into its
+   children, blocking itself from further hits (deeper entries now stop
+   at the children);
+2. at the end of an epoch, a parent of leaves deletes both children if
+   each supplied fewer than ``c`` requests;
+3. step 2 recurses, collapsing the tree when demand fades.
+
+The guarantees validated by experiments E7–E9:
+
+* Observation 3.1 — the active tree never exceeds ``4 q / c`` nodes;
+* Lemma 3.3 — depth reaches at most ``log(q/c) + O(1)``;
+* Theorem 3.6 / 3.8 — per-server cache hits ``O(log² n)``, per-server
+  stored items ``O(log n)``;
+* content update — ``O(log n)`` messages/time down the active tree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..hashing.kwise import Key
+from .continuous import Digits
+from .lookup import LookupResult, dh_lookup
+from .network import DistanceHalvingNetwork
+from .pathtree import PathTree
+
+__all__ = ["ActiveTree", "CacheSystem", "CachedLookup"]
+
+
+class ActiveTree:
+    """The active (replicated) subtree of one item's path tree.
+
+    Node addresses are digit tuples; the root ``()`` — the item's owner —
+    is always active.  The active set is prefix-closed by construction.
+    """
+
+    def __init__(self, tree: PathTree, threshold: int):
+        if threshold < 1:
+            raise ValueError("threshold c must be >= 1")
+        self.tree = tree
+        self.c = int(threshold)
+        self.active: Set[Digits] = {()}
+        self.served: Counter = Counter()          # requests supplied this epoch
+        self.supplied_prev: Counter = Counter()   # last epoch's counts (for step 2)
+        self.replications: int = 0                # total child activations (copies made)
+
+    # ------------------------------------------------------------- structure
+    def is_leaf(self, addr: Digits) -> bool:
+        """Active node none of whose children is active."""
+        return addr in self.active and not any(
+            ch in self.active for ch in self.tree.children(addr)
+        )
+
+    def leaves(self) -> List[Digits]:
+        return [a for a in self.active if self.is_leaf(a)]
+
+    def size(self) -> int:
+        """Number of active nodes (Observation 3.1 bounds it by ``4q/c``)."""
+        return len(self.active)
+
+    def depth(self) -> int:
+        """Depth of the deepest active node (Lemma 3.3: ``≤ log(q/c)+O(1)``)."""
+        return max((len(a) for a in self.active), default=0)
+
+    def serving_node(self, tau: Sequence[int]) -> Digits:
+        """Deepest active prefix of ``tau`` — where an entering request stops.
+
+        Phase II visits ``τ[:t], τ[:t-1], …, ()`` in order; the first
+        *active* node on that ascent serves the request.
+        """
+        t = tuple(tau)
+        for j in range(len(t), -1, -1):
+            if t[:j] in self.active:
+                return t[:j]
+        raise AssertionError("root is always active")  # pragma: no cover
+
+    # -------------------------------------------------------------- protocol
+    def serve(self, tau: Sequence[int]) -> Tuple[Digits, bool]:
+        """Serve one request entering via digits ``tau``; maybe replicate.
+
+        Returns ``(serving node, replicated?)``.  Step 1 of the protocol:
+        when a leaf's counter exceeds ``c`` it activates its children (the
+        item is copied into them; subsequent deep entries stop there).
+        """
+        node = self.serving_node(tau)
+        self.served[node] += 1
+        replicated = False
+        if self.served[node] > self.c and self.is_leaf(node):
+            for ch in self.tree.children(node):
+                self.active.add(ch)
+                self.replications += 1
+            replicated = True
+        return node, replicated
+
+    def advance_epoch(self) -> int:
+        """End the epoch: collapse unused fringe (steps 2–3); reset counters.
+
+        A parent whose children are all leaves deletes them when every
+        child supplied fewer than ``c`` requests; the deletion recurses
+        within the same epoch.  Returns the number of deactivated nodes.
+        """
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            # scan deepest-first so collapses cascade in one epoch
+            for addr in sorted(self.active, key=len, reverse=True):
+                if addr == () or addr not in self.active:
+                    continue
+                parent = addr[:-1]
+                siblings = self.tree.children(parent)
+                if not all(s in self.active and self.is_leaf(s) for s in siblings):
+                    continue
+                if all(self.served[s] < self.c for s in siblings):
+                    for s in siblings:
+                        self.active.discard(s)
+                        removed += 1
+                    changed = True
+        self.supplied_prev = self.served
+        self.served = Counter()
+        return removed
+
+    # ----------------------------------------------------------------- stats
+    def nodes_covered_by(self, net: DistanceHalvingNetwork, server_point: float) -> int:
+        """How many active nodes fall in a server's segment (Lemma 3.5's B_v)."""
+        seg = net.segments.segment_of(server_point)
+        return sum(1 for a in self.active if self.tree.position(a) in seg)
+
+    def update_content(self, net: DistanceHalvingNetwork) -> Tuple[int, int]:
+        """Propagate a content change root-down (§3 "Content Update").
+
+        Returns ``(messages, parallel_time)``: one message per active tree
+        edge, time equal to the active depth — both ``O(log n)`` as the
+        paper claims.
+        """
+        messages = sum(1 for a in self.active if a != ())
+        return messages, self.depth()
+
+
+@dataclass
+class CachedLookup:
+    """Result of a cached request: the routed path plus cache accounting."""
+
+    item: Key
+    lookup: LookupResult
+    serving_node: Digits
+    serving_server: float
+    entry_depth: int
+    server_path: List[float] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.server_path) - 1)
+
+    @property
+    def saved_hops(self) -> int:
+        """Hops avoided relative to routing all the way to the owner."""
+        return max(0, self.lookup.hops - self.hops)
+
+
+class CacheSystem:
+    """Network-wide cache coordinator: one :class:`ActiveTree` per hot item.
+
+    ``threshold`` is the paper's ``c`` — "typically in the order of
+    log n" (§3.1).  Requests are routed with the standard Distance
+    Halving lookup; the phase-II ascent stops at the deepest active node,
+    which supplies the item.
+    """
+
+    def __init__(self, net: DistanceHalvingNetwork, threshold: Optional[int] = None):
+        self.net = net
+        n = max(2, net.n)
+        self.c = int(threshold) if threshold is not None else max(1, int(np.ceil(np.log2(n))))
+        self.trees: Dict[Key, ActiveTree] = {}
+        # per-server counters for the §3 guarantees
+        self.cache_hits: Counter = Counter()       # requests supplied per server
+        self.messages: Counter = Counter()         # routed + cache messages per server
+        self.requests_served: int = 0
+
+    def tree_for(self, item: Key) -> ActiveTree:
+        if item not in self.trees:
+            root = self.net.item_hash(item)
+            self.trees[item] = ActiveTree(PathTree(root, self.net.graph), self.c)
+        return self.trees[item]
+
+    # -------------------------------------------------------------- requests
+    def request(
+        self,
+        item: Key,
+        source_point: float,
+        rng: np.random.Generator,
+        tau: Optional[Sequence[int]] = None,
+    ) -> CachedLookup:
+        """Route one request for ``item`` from ``source_point``.
+
+        Runs the Distance Halving lookup toward ``h(item)``; the message
+        stops at the deepest active cache node on its phase-II branch.
+        All servers the message visits get their message counters bumped;
+        the serving server gets a cache hit.
+        """
+        target = self.net.item_hash(item)
+        res = dh_lookup(self.net, source_point, target, rng, tau=tau)
+        tree = self.tree_for(item)
+        digits = res.phase2_digits
+        node, replicated = tree.serve(digits)
+        if replicated:
+            # item copied to the Δ children: one message per covering server.
+            for ch in tree.tree.children(node):
+                self.messages[self.net.segments.cover_point(tree.tree.position(ch))] += 1
+
+        serving_pos = tree.tree.position(node)
+        serving_server = self.net.segments.cover_point(serving_pos)
+
+        # Reconstruct the message trajectory, truncating phase II at the
+        # serving node: phase I follows w(τ[:j], x_src); phase II visits
+        # prefixes τ[:t] … τ[:|node|] and stops where the cache answered.
+        g = self.net.graph
+        t = len(digits)
+        src = float(source_point) % 1.0
+        phase1_servers = [
+            self.net.segments.cover_point(g.walk(digits[:j], src)) for j in range(t + 1)
+        ]
+        phase2_points = [g.walk(digits[:j], res.target) for j in range(t, len(node) - 1, -1)]
+        phase2_servers = [self.net.segments.cover_point(p) for p in phase2_points]
+        path: List[float] = []
+        for s in phase1_servers + phase2_servers:
+            if not path or path[-1] != s:
+                path.append(s)
+
+        for s in path:
+            self.messages[s] += 1
+        self.cache_hits[serving_server] += 1
+        self.requests_served += 1
+        return CachedLookup(
+            item=item,
+            lookup=res,
+            serving_node=node,
+            serving_server=serving_server,
+            entry_depth=t,
+            server_path=path,
+        )
+
+    # ---------------------------------------------------------------- epochs
+    def advance_epoch(self) -> int:
+        """End-of-epoch collapse across all items; returns nodes removed."""
+        return sum(tree.advance_epoch() for tree in self.trees.values())
+
+    # ----------------------------------------------------------------- stats
+    def items_cached_at(self, server_point: float) -> int:
+        """Distinct items with an active copy on this server (Thm 3.8 (i))."""
+        seg = self.net.segments.segment_of(server_point)
+        count = 0
+        for tree in self.trees.values():
+            if any(tree.tree.position(a) in seg for a in tree.active):
+                count += 1
+        return count
+
+    def max_items_cached(self) -> int:
+        """Max over servers of distinct cached items."""
+        return max(
+            (self.items_cached_at(p) for p in self.net.segments), default=0
+        )
+
+    def total_copies(self) -> int:
+        """Total active nodes beyond the roots (extra copies in the network)."""
+        return sum(t.size() - 1 for t in self.trees.values())
+
+    def summary(self) -> Dict[str, float]:
+        n = self.net.n
+        return {
+            "requests": float(self.requests_served),
+            "threshold_c": float(self.c),
+            "max_cache_hits": float(max(self.cache_hits.values(), default=0)),
+            "max_messages": float(max(self.messages.values(), default=0)),
+            "max_items_cached": float(self.max_items_cached()),
+            "total_copies": float(self.total_copies()),
+            "trees": float(len(self.trees)),
+            "n": float(n),
+        }

@@ -1,0 +1,44 @@
+"""Server (node) state for the discrete Distance Halving network.
+
+A server is intentionally thin: the continuous-discrete approach keeps all
+topology in the *decomposition* (the :class:`~repro.core.segments.SegmentMap`),
+so a server only needs its id point, its key-value store, and bookkeeping
+counters used by the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Server"]
+
+
+@dataclass
+class Server:
+    """One participant of the network.
+
+    ``point`` is the hashed id ``x_i ∈ [0, 1)`` chosen at join time (§2.1
+    Algorithm Join step 1); it is immutable for the server's lifetime in
+    the plain DHT (the §4 bucket balancer is the one component allowed to
+    relocate servers, which it models as leave+join).
+    """
+
+    point: float
+    name: str = ""
+    store: Dict[Any, Any] = field(default_factory=dict)
+    # experiment bookkeeping -------------------------------------------------
+    messages_handled: int = 0
+    lookups_initiated: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"server@{float(self.point):.6f}"
+
+    def reset_counters(self) -> None:
+        """Zero the experiment counters (between benchmark repetitions)."""
+        self.messages_handled = 0
+        self.lookups_initiated = 0
+
+    def __hash__(self) -> int:  # identity by id point (unique in a network)
+        return hash(self.point)

@@ -1,0 +1,88 @@
+"""Congestion and load accounting for routed lookups (paper §2.2, Def. 3).
+
+The paper's congestion of a server is "the probability [it] is active in a
+routing between a randomly chosen server and a random point"; empirically
+we estimate it as (visits to the server) / (number of routed lookups).
+Theorems 2.7 / 2.9 predict a maximum congestion of ``Θ(log n / n)`` for
+smooth decompositions; Theorems 2.10 / 2.11 predict a maximum *load* of
+``O(log n)`` messages per server when ``n`` lookups are routed at once
+(permutation routing).
+
+:class:`CongestionCounter` aggregates server visits over many
+:class:`~repro.core.lookup.LookupResult` paths and reports the empirical
+congestion distribution, so one object serves experiments E4, E5 and the
+caching experiments' message accounting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from .lookup import LookupResult
+
+__all__ = ["CongestionCounter", "path_lengths"]
+
+
+@dataclass
+class CongestionCounter:
+    """Accumulates per-server message counts over a batch of lookups."""
+
+    visits: Counter = field(default_factory=Counter)
+    lookups: int = 0
+    total_messages: int = 0
+
+    def record(self, result: LookupResult) -> None:
+        """Count one routed lookup: every server on the path handles it once."""
+        self.lookups += 1
+        for p in result.server_path:
+            self.visits[p] += 1
+        self.total_messages += result.hops
+
+    def record_path(self, server_points: Sequence[float]) -> None:
+        """Count a raw server path (used by baseline DHTs)."""
+        self.lookups += 1
+        for p in server_points:
+            self.visits[p] += 1
+        self.total_messages += max(0, len(server_points) - 1)
+
+    def max_load(self) -> int:
+        """Largest number of lookups any single server participated in."""
+        return max(self.visits.values(), default=0)
+
+    def load_of(self, point: float) -> int:
+        return self.visits.get(point, 0)
+
+    def loads(self, all_points: Iterable[float]) -> np.ndarray:
+        """Load vector over a given universe of servers (zeros included)."""
+        return np.asarray([self.visits.get(p, 0) for p in all_points], dtype=float)
+
+    def max_congestion(self) -> float:
+        """Empirical max congestion: max visits / number of lookups (Def. 3)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.max_load() / self.lookups
+
+    def mean_load(self, n_servers: int) -> float:
+        """Average number of lookups handled per server."""
+        if n_servers == 0:
+            return 0.0
+        return sum(self.visits.values()) / n_servers
+
+    def summary(self, n_servers: int) -> Dict[str, float]:
+        """Digest used by the experiment tables."""
+        return {
+            "lookups": float(self.lookups),
+            "max_load": float(self.max_load()),
+            "mean_load": self.mean_load(n_servers),
+            "max_congestion": self.max_congestion(),
+            "total_messages": float(self.total_messages),
+        }
+
+
+def path_lengths(results: Iterable[LookupResult]) -> np.ndarray:
+    """Hop counts of a batch of lookups as an array (for table rows)."""
+    return np.asarray([r.hops for r in results], dtype=float)

@@ -1,0 +1,221 @@
+"""Dynamic decomposition of ``[0, 1)`` into server segments (paper §2.1).
+
+``n`` distinct points ``x_0 < x_1 < … < x_{n-1}`` divide the ring into
+``n`` half-open segments; server ``V_i`` is *associated* with
+``s(x_i) = [x_i, x_{i+1})`` and the last server owns the wrapping segment
+``[x_{n-1}, 1) ∪ [0, x_0)``.  A point ``y ∈ s(x_i)`` is *covered* by
+``V_i``.
+
+:class:`SegmentMap` maintains this decomposition under joins (point
+insertions split a segment) and leaves (removals merge a segment into its
+ring predecessor), and answers the queries every protocol in the paper
+needs:
+
+* ``cover(y)``          — which segment covers a point (binary search);
+* ``covering(arc)``     — all segments intersecting an arc (used to build
+  the discrete graph's edges from continuous edges);
+* ``smoothness()``      — ``ρ(x) = max_i |s(x_i)| / min_j |s(x_j)|``
+  (Definition 1), the parameter controlling degree, path length and
+  congestion throughout the paper.
+
+The map is deliberately simple — a sorted list with ``bisect`` — because
+network sizes in the experiments are ≤ 2^14 and the guide's advice is
+"make it work, make it right, then profile".  Bulk analytics (lengths,
+smoothness) are exposed as NumPy arrays for vectorised use by the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .interval import Arc, Number, normalize
+
+__all__ = ["SegmentMap"]
+
+
+class SegmentMap:
+    """Sorted set of points decomposing the unit ring into segments."""
+
+    def __init__(self, points: Iterable[Number] = ()) -> None:
+        pts = sorted(normalize(p) for p in points)
+        for a, b in zip(pts, pts[1:]):
+            if a == b:
+                raise ValueError(f"duplicate point {a!r}")
+        self._points: list[Number] = pts
+
+    # ------------------------------------------------------------- basic ops
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Number]:
+        return iter(self._points)
+
+    def __contains__(self, point: Number) -> bool:
+        i = bisect_left(self._points, normalize(point))
+        return i < len(self._points) and self._points[i] == normalize(point)
+
+    @property
+    def points(self) -> Sequence[Number]:
+        """The sorted point vector ``x`` (read-only view)."""
+        return tuple(self._points)
+
+    def as_array(self) -> np.ndarray:
+        """Points as a float64 NumPy array (for vectorised analytics)."""
+        return np.asarray([float(p) for p in self._points], dtype=np.float64)
+
+    def insert(self, point: Number) -> int:
+        """Insert a new point (a server join); returns its index.
+
+        Splits the segment that covered ``point`` exactly as step 3 of
+        Algorithm Join: the new server takes ``[point, old_end)``.
+        Duplicate points are rejected — two servers may not share an id.
+        """
+        p = normalize(point)
+        if p in self:
+            raise ValueError(f"point {p!r} already present")
+        insort(self._points, p)
+        return bisect_left(self._points, p)
+
+    def remove(self, point: Number) -> None:
+        """Remove a point (a server leave).
+
+        The ring predecessor implicitly absorbs the vacated segment —
+        the paper's simplest Leave rule (§2.1).
+        """
+        p = normalize(point)
+        i = bisect_left(self._points, p)
+        if i >= len(self._points) or self._points[i] != p:
+            raise KeyError(f"point {p!r} not present")
+        del self._points[i]
+
+    # --------------------------------------------------------------- queries
+    def index_of(self, point: Number) -> int:
+        """Index of an existing point; raises ``KeyError`` if absent."""
+        p = normalize(point)
+        i = bisect_left(self._points, p)
+        if i >= len(self._points) or self._points[i] != p:
+            raise KeyError(f"point {p!r} not present")
+        return i
+
+    def cover(self, y: Number) -> int:
+        """Index ``i`` of the segment ``s(x_i)`` covering point ``y``.
+
+        The covering server is the one with the greatest ``x_i <= y``;
+        points below ``x_0`` wrap to the last server's segment.
+        """
+        if not self._points:
+            raise LookupError("empty segment map covers nothing")
+        i = bisect_right(self._points, normalize(y)) - 1
+        return i if i >= 0 else len(self._points) - 1
+
+    def cover_point(self, y: Number) -> Number:
+        """The point ``x_i`` of the server covering ``y``."""
+        return self._points[self.cover(y)]
+
+    def segment(self, i: int) -> Arc:
+        """The arc ``s(x_i) = [x_i, x_{i+1 mod n})``."""
+        n = len(self._points)
+        if n == 0:
+            raise LookupError("empty segment map has no segments")
+        if n == 1:
+            return Arc(self._points[0], self._points[0])
+        return Arc(self._points[i % n], self._points[(i + 1) % n])
+
+    def segment_of(self, point: Number) -> Arc:
+        """The segment owned by the server whose id point is ``point``."""
+        return self.segment(self.index_of(point))
+
+    def segment_length(self, i: int) -> Number:
+        return self.segment(i).length
+
+    def predecessor(self, point: Number) -> Number:
+        """Ring predecessor of an existing point."""
+        i = self.index_of(point)
+        return self._points[(i - 1) % len(self._points)]
+
+    def successor(self, point: Number) -> Number:
+        """Ring successor of an existing point."""
+        i = self.index_of(point)
+        return self._points[(i + 1) % len(self._points)]
+
+    def covering(self, arc: Arc) -> list[int]:
+        """Indices of every segment intersecting ``arc`` (in ring order).
+
+        This is the discretization query of §1.2: two cells are connected
+        when they contain adjacent points of the continuous graph, so a
+        server covering ``arc`` must link to every index returned here
+        when ``arc`` is the image of its segment under an edge map.
+        """
+        n = len(self._points)
+        if n == 0:
+            raise LookupError("empty segment map covers nothing")
+        if n == 1:
+            return [0]
+        seen: dict[int, None] = {}
+        for a, b in arc.pieces():
+            if b <= a:
+                continue
+            first = self.cover(a)
+            seen.setdefault(first, None)
+            # every point strictly inside (a, b) starts another intersecting segment
+            lo = bisect_right(self._points, a)
+            hi = bisect_left(self._points, b)
+            for j in range(lo, hi):
+                seen.setdefault(j, None)
+        return list(seen.keys())
+
+    def covering_points(self, arc: Arc) -> list[Number]:
+        """Id points of the servers whose segments intersect ``arc``."""
+        return [self._points[i] for i in self.covering(arc)]
+
+    # ------------------------------------------------------------- analytics
+    def lengths(self) -> np.ndarray:
+        """All segment lengths as a float64 array (sums to 1)."""
+        pts = self.as_array()
+        if len(pts) == 0:
+            return np.zeros(0)
+        if len(pts) == 1:
+            return np.ones(1)
+        diffs = np.diff(pts)
+        wrap = 1.0 - pts[-1] + pts[0]
+        return np.append(diffs, wrap)
+
+    def smoothness(self) -> float:
+        """``ρ(x) = max_i |s(x_i)| / min_j |s(x_j)|`` (Definition 1)."""
+        lens = self.lengths()
+        if len(lens) == 0:
+            raise LookupError("empty segment map has no smoothness")
+        mn = lens.min()
+        if mn <= 0:
+            return math.inf
+        return float(lens.max() / mn)
+
+    def min_segment_length(self) -> float:
+        lens = self.lengths()
+        if len(lens) == 0:
+            raise LookupError("empty segment map")
+        return float(lens.min())
+
+    def max_segment_length(self) -> float:
+        lens = self.lengths()
+        if len(lens) == 0:
+            raise LookupError("empty segment map")
+        return float(lens.max())
+
+    def is_smooth(self, bound: float) -> bool:
+        """True when ``ρ(x) <= bound`` — the paper's "smooth" predicate."""
+        return self.smoothness() <= bound
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (sortedness, lengths summing to 1)."""
+        pts = self._points
+        assert all(a < b for a, b in zip(pts, pts[1:])), "points not strictly sorted"
+        assert all(0 <= p < 1 for p in pts), "point outside [0,1)"
+        if pts:
+            total = sum(self.segment(i).length for i in range(len(pts)))
+            assert abs(float(total) - 1.0) < 1e-9, f"segment lengths sum to {total}"

@@ -1,0 +1,23 @@
+"""General graph emulation over smooth decompositions (paper §7)."""
+
+from .emulator import GraphEmulator
+from .families import (
+    DeBruijnFamily,
+    GraphFamily,
+    HypercubeFamily,
+    RingFamily,
+    ShuffleExchangeFamily,
+    TorusFamily,
+    family_graph,
+)
+
+__all__ = [
+    "DeBruijnFamily",
+    "GraphEmulator",
+    "GraphFamily",
+    "HypercubeFamily",
+    "RingFamily",
+    "ShuffleExchangeFamily",
+    "TorusFamily",
+    "family_graph",
+]

@@ -1,0 +1,136 @@
+"""Applications of the dynamic expander (paper §5.2's application list).
+
+"Possible applications for dynamic expanders include load balancing jobs
+and an infrastructure for maintaining probabilistic quorums" — plus the
+cited random-walk search of Gkantsidis–Mihail–Saberi [15].  This module
+implements all three on top of any NetworkX graph (in practice the
+:class:`~repro.expander.gabber_galil.GabberGalilNetwork` topology):
+
+* :func:`random_walk` / :func:`mixing_time_estimate` — walks mix in
+  O(log n) steps on an expander, the primitive everything else uses;
+* :class:`ProbabilisticQuorum` — Malkhi–Reiter–Wright-style quorums: two
+  random √(cn)-size samples intersect w.h.p.; the expander walk supplies
+  near-uniform samples *without* global membership knowledge;
+* :func:`balance_load_by_walks` — place jobs on walk endpoints; on an
+  expander the max load stays within a constant of uniform placement.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "random_walk",
+    "walk_endpoint_distribution",
+    "mixing_time_estimate",
+    "ProbabilisticQuorum",
+    "balance_load_by_walks",
+]
+
+
+def random_walk(graph: nx.Graph, start: Hashable, steps: int,
+                rng: np.random.Generator) -> Hashable:
+    """Endpoint of a simple random walk of ``steps`` hops."""
+    current = start
+    for _ in range(steps):
+        nbs = list(graph.neighbors(current))
+        current = nbs[int(rng.integers(len(nbs)))]
+    return current
+
+
+def walk_endpoint_distribution(graph: nx.Graph, start: Hashable, steps: int,
+                               rng: np.random.Generator, samples: int = 500
+                               ) -> Counter:
+    """Empirical endpoint distribution of many walks from ``start``."""
+    return Counter(random_walk(graph, start, steps, rng) for _ in range(samples))
+
+
+def mixing_time_estimate(graph: nx.Graph, rng: np.random.Generator,
+                         tolerance: float = 0.25, max_steps: int = 256,
+                         samples: int = 400) -> int:
+    """Smallest walk length whose endpoint distribution is near-stationary.
+
+    Total-variation distance against the degree-proportional stationary
+    distribution, estimated from ``samples`` walks; expanders give
+    O(log n), cycles Θ(n²) (the contrast tested in the suite).
+    """
+    nodes = list(graph.nodes())
+    total_degree = sum(d for _, d in graph.degree())
+    stationary = {v: graph.degree(v) / total_degree for v in nodes}
+    start = nodes[0]
+    steps = 1
+    while steps <= max_steps:
+        counts = walk_endpoint_distribution(graph, start, steps, rng, samples)
+        tv = 0.5 * sum(
+            abs(counts.get(v, 0) / samples - stationary[v]) for v in nodes
+        )
+        # empirical TV has sampling noise ~ sqrt(n/samples); accept below
+        # tolerance + that floor
+        noise = 0.5 * math.sqrt(len(nodes) / samples)
+        if tv <= tolerance + noise:
+            return steps
+        steps *= 2
+    return max_steps
+
+
+class ProbabilisticQuorum:
+    """Probabilistic quorums via expander walks (§5.2's application).
+
+    A quorum is the endpoint multiset of ``quorum_size`` independent
+    walks of ``walk_length`` steps.  With near-uniform endpoints, two
+    quorums of size ``≥ √(2 λ n)`` intersect with probability
+    ``≥ 1 − e^{−λ}`` (birthday bound) — no server needs a global view.
+    """
+
+    def __init__(self, graph: nx.Graph, rng: np.random.Generator,
+                 walk_length: Optional[int] = None,
+                 quorum_size: Optional[int] = None):
+        self.graph = graph
+        self.rng = rng
+        n = graph.number_of_nodes()
+        self.walk_length = walk_length if walk_length is not None else (
+            max(2, 2 * int(math.ceil(math.log2(n))))
+        )
+        self.quorum_size = quorum_size if quorum_size is not None else (
+            max(1, int(math.ceil(math.sqrt(4.0 * n))))
+        )
+
+    def sample(self, start: Hashable) -> Set[Hashable]:
+        """Draw one quorum starting from a member's own position."""
+        return {
+            random_walk(self.graph, start, self.walk_length, self.rng)
+            for _ in range(self.quorum_size)
+        }
+
+    def intersection_rate(self, trials: int = 100) -> float:
+        """Empirical probability that two independent quorums intersect."""
+        nodes = list(self.graph.nodes())
+        hits = 0
+        for _ in range(trials):
+            a = self.sample(nodes[int(self.rng.integers(len(nodes)))])
+            b = self.sample(nodes[int(self.rng.integers(len(nodes)))])
+            hits += bool(a & b)
+        return hits / trials
+
+
+def balance_load_by_walks(graph: nx.Graph, jobs: int, rng: np.random.Generator,
+                          walk_length: Optional[int] = None) -> Counter:
+    """Place ``jobs`` by walking from random origins; returns per-node load.
+
+    On an expander the endpoint distribution is near-stationary, so the
+    max load matches balls-into-bins up to constants — the "load
+    balancing jobs" application of §5.2.
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    wl = walk_length if walk_length is not None else max(2, 2 * int(math.ceil(math.log2(n))))
+    loads: Counter = Counter()
+    for _ in range(jobs):
+        origin = nodes[int(rng.integers(n))]
+        loads[random_walk(graph, origin, wl, rng)] += 1
+    return loads

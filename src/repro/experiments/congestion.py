@@ -1,0 +1,70 @@
+"""E4 — congestion of random lookups (Theorems 2.7, 2.9).
+
+Definition 3: congestion of a server = probability it participates in a
+lookup between a random server and a random point; the theorems put the
+network maximum at ``Θ(log n / n)`` for smooth ids, for both lookup
+algorithms.  We estimate with many random lookups and track
+``max_congestion · n / log n`` across sizes — it must stay bounded (and
+not vanish: the owner itself always participates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from ..balance import MultipleChoice
+from ..core import CongestionCounter, DistanceHalvingNetwork, dh_lookup, fast_lookup
+from ..sim.rng import spawn_many
+from .common import ExperimentResult, register, timed
+
+
+@register("E4")
+def run(seed: int = 4, quick: bool = False) -> ExperimentResult:
+    def body() -> ExperimentResult:
+        sizes = [64, 256] if quick else [64, 128, 256, 512, 1024]
+        lookups = 1500 if quick else 6000
+        rows: List[Dict] = []
+        norms = {"fast": [], "dh": []}
+        for n in sizes:
+            rng, route = spawn_many(seed * 17 + n, 2)
+            net = DistanceHalvingNetwork(rng=rng)
+            net.populate(n, selector=MultipleChoice(t=4))
+            pts = list(net.points())
+            counters = {"fast": CongestionCounter(), "dh": CongestionCounter()}
+            for _ in range(lookups):
+                src = pts[int(route.integers(n))]
+                y = float(route.random())
+                counters["fast"].record(fast_lookup(net, src, y))
+                counters["dh"].record(dh_lookup(net, src, y, route))
+            row: Dict = {"n": n, "rho": round(net.smoothness(), 2)}
+            for name, c in counters.items():
+                cong = c.max_congestion()
+                norm = cong * n / math.log2(n)
+                norms[name].append(norm)
+                row[f"{name}_maxcong"] = round(cong, 4)
+                row[f"{name}_cong*n/logn"] = round(norm, 2)
+            rows.append(row)
+        checks = {
+            "Thm 2.7: fast congestion·n/log n bounded": max(norms["fast"]) <= 12,
+            "Thm 2.9: DH congestion·n/log n bounded": max(norms["dh"]) <= 12,
+            "congestion really is Θ(log n/n), not o(·): norm ≥ 0.3": min(
+                norms["fast"] + norms["dh"]
+            )
+            >= 0.3,
+            "normalised congestion flat across sizes (±4x)": max(
+                max(v) / min(v) for v in norms.values()
+            )
+            <= 4.0,
+        }
+        return ExperimentResult(
+            experiment="E4",
+            title="Congestion of random lookups (Thm 2.7 / 2.9)",
+            paper_claim="max congestion Θ(log n / n) for smooth ids",
+            rows=rows,
+            checks=checks,
+        )
+
+    return timed(body)

@@ -1,0 +1,77 @@
+"""E3 — lookup path lengths (Corollary 2.5, Theorem 2.8).
+
+Fast Lookup: walk parameter ``t ≤ log n + log ρ + 1``.
+Distance Halving Lookup: hops ≤ ``2 log n + 2 log ρ`` (+O(1) junction).
+Both at uniform and Multiple-Choice-balanced ids; the log-slope across
+sizes must be ≈ 1 (fast) and ≈ 2 (two-phase).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from ..balance import MultipleChoice
+from ..core import DistanceHalvingNetwork, dh_lookup, fast_lookup
+from ..sim.metrics import log_slope, summarize
+from ..sim.rng import spawn_many
+from .common import ExperimentResult, register, timed
+
+
+@register("E3")
+def run(seed: int = 3, quick: bool = False) -> ExperimentResult:
+    def body() -> ExperimentResult:
+        sizes = [64, 256, 1024] if quick else [64, 128, 256, 512, 1024, 2048]
+        lookups = 300 if quick else 1000
+        rows: List[Dict] = []
+        checks: Dict[str, bool] = {}
+        fast_ok = dh_ok = True
+        fast_means, dh_means = [], []
+        for n in sizes:
+            rng, route = spawn_many(seed * 13 + n, 2)
+            net = DistanceHalvingNetwork(rng=rng)
+            net.populate(n, selector=MultipleChoice(t=4))
+            rho = net.smoothness()
+            pts = list(net.points())
+            f_t, d_h = [], []
+            for _ in range(lookups):
+                src = pts[int(route.integers(n))]
+                y = float(route.random())
+                f = fast_lookup(net, src, y)
+                d = dh_lookup(net, src, y, route)
+                f_t.append(f.t)
+                d_h.append(d.hops)
+                fast_ok &= f.t <= math.log2(n) + math.log2(rho) + 1 + 1e-9
+                dh_ok &= d.hops <= 2 * math.log2(n) + 2 * math.log2(max(rho, 1.0)) + 2
+            fs, ds = summarize(f_t), summarize(d_h)
+            fast_means.append(fs.mean)
+            dh_means.append(ds.mean)
+            rows.append(
+                {
+                    "n": n,
+                    "rho": round(rho, 2),
+                    "fast_mean_t": round(fs.mean, 2),
+                    "fast_max_t": fs.max,
+                    "bound_fast": round(math.log2(n) + math.log2(rho) + 1, 1),
+                    "dh_mean_hops": round(ds.mean, 2),
+                    "dh_max_hops": ds.max,
+                    "bound_dh": round(2 * math.log2(n) + 2 * math.log2(max(rho, 1)), 1),
+                }
+            )
+        checks["Cor 2.5: fast t ≤ log n + log ρ + 1 (every lookup)"] = fast_ok
+        checks["Thm 2.8: DH hops ≤ 2log n + 2log ρ (+2)"] = dh_ok
+        sf = log_slope(sizes, fast_means)
+        sd = log_slope(sizes, dh_means)
+        checks[f"fast log-slope ≈ 1 (got {sf:.2f})"] = 0.6 <= sf <= 1.4
+        checks[f"DH log-slope ≈ 2 (got {sd:.2f})"] = 1.4 <= sd <= 2.6
+        return ExperimentResult(
+            experiment="E3",
+            title="Lookup path lengths (Cor 2.5, Thm 2.8)",
+            paper_claim="fast ≤ log n + log ρ + 1; two-phase ≤ 2log n + 2log ρ",
+            rows=rows,
+            checks=checks,
+        )
+
+    return timed(body)

@@ -1,0 +1,63 @@
+"""Experiment runner: imports all experiment modules and executes them."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+# importing the modules populates the registry
+from . import (  # noqa: F401
+    ablations,
+    balance,
+    balance_churn,
+    caching_multi,
+    caching_single,
+    congestion,
+    emulation_exp,
+    expander_exp,
+    extensions,
+    faults_exp,
+    figures,
+    pathlen,
+    permutation,
+    structure,
+    table1,
+    tradeoff,
+)
+from .common import ExperimentResult, all_experiments, get_experiment
+
+__all__ = ["run_experiments", "EXPERIMENT_IDS"]
+
+EXPERIMENT_IDS = list(all_experiments().keys())
+
+
+def run_experiments(
+    names: Optional[List[str]] = None,
+    seed: int = 0,
+    quick: bool = False,
+    out_dir: Optional[str] = None,
+    echo: bool = True,
+) -> List[ExperimentResult]:
+    """Run selected experiments (all when ``names`` is None/['all'])."""
+    if not names or [n.lower() for n in names] == ["all"]:
+        names = EXPERIMENT_IDS
+    results: List[ExperimentResult] = []
+    for name in names:
+        fn = get_experiment(name)
+        kwargs = {"quick": quick}
+        if seed:
+            kwargs["seed"] = seed + hash(name) % 1000
+        res = fn(**kwargs)
+        results.append(res)
+        if echo:
+            print(res.render())
+            print()
+        if out_dir:
+            out = pathlib.Path(out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{res.experiment}.json").write_text(res.to_json())
+    if echo:
+        passed = sum(r.passed for r in results)
+        print(f"=== {passed}/{len(results)} experiments passed all checks ===")
+    return results

@@ -1,0 +1,20 @@
+"""Fault-tolerant overlapping DHT and fault models (paper §6)."""
+
+from .erasure import ErasureStore, GF256, ReedSolomonCode
+from .lookup_ft import FTLookupResult, canonical_path, resistant_lookup, simple_lookup
+from .models import FaultPlan, random_byzantine, random_failstop
+from .overlap import OverlappingDHNetwork
+
+__all__ = [
+    "ErasureStore",
+    "FTLookupResult",
+    "GF256",
+    "ReedSolomonCode",
+    "FaultPlan",
+    "OverlappingDHNetwork",
+    "canonical_path",
+    "random_byzantine",
+    "random_failstop",
+    "resistant_lookup",
+    "simple_lookup",
+]

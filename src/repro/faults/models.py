@@ -1,0 +1,62 @@
+"""Fault models (paper §6 preamble).
+
+Two of the paper's models are mechanised:
+
+* **fail-stop** — a random subset of servers stops responding entirely;
+* **false message injection** — faulty servers "produce arbitrary false
+  versions of the data item requested, but otherwise behave correctly":
+  they follow the routing protocol yet corrupt payloads.
+
+Both draw the faulty set randomly and *independently of the system's
+random choices* — the assumption Theorem 6.4's remark makes explicit
+(correlated failures are fine as long as they ignore the ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence, Set
+
+import numpy as np
+
+__all__ = ["FaultPlan", "random_failstop", "random_byzantine"]
+
+
+@dataclass
+class FaultPlan:
+    """Which servers are faulty and how they misbehave."""
+
+    failed: Set[float] = field(default_factory=set)       # fail-stop servers
+    liars: Set[float] = field(default_factory=set)        # false-injection servers
+
+    def is_alive(self, server: float) -> bool:
+        return server not in self.failed
+
+    def alive(self, servers: Sequence[float]) -> Set[float]:
+        return {s for s in servers if s not in self.failed}
+
+    def answer_of(self, server: float, true_value: Hashable) -> Hashable:
+        """The value this server reports for an item it stores."""
+        if server in self.liars:
+            return ("CORRUPT", server)
+        return true_value
+
+
+def random_failstop(
+    servers: Sequence[float], p: float, rng: np.random.Generator
+) -> FaultPlan:
+    """Each server fails independently with probability ``p`` (Thm 6.4)."""
+    if not 0 <= p < 1:
+        raise ValueError("failure probability must be in [0, 1)")
+    mask = rng.random(len(servers)) < p
+    return FaultPlan(failed={s for s, m in zip(servers, mask) if m})
+
+
+def random_byzantine(
+    servers: Sequence[float], p: float, rng: np.random.Generator
+) -> FaultPlan:
+    """Each server lies independently with probability ``p`` (Thm 6.6)."""
+    if not 0 <= p < 1:
+        raise ValueError("corruption probability must be in [0, 1)")
+    mask = rng.random(len(servers)) < p
+    return FaultPlan(liars={s for s, m in zip(servers, mask) if m})

@@ -1,0 +1,154 @@
+"""The Overlapping Distance Halving DHT (paper §6.2).
+
+Same continuous graph as §2, different discretization: server ``V_i``
+covers the *overlapping* segment ``[x_i, y_i]`` where ``y_i`` is chosen
+so the segment contains ``α_i ≈ log n`` other id points — ``α_i`` comes
+from the predecessor-gap estimator (Lemma 6.2), so every server sizes
+its segment from purely local information.
+
+Consequences (verified by the tests / experiment E13):
+
+* every point of ``I`` is covered by ``Θ(log n)`` servers, so every data
+  item lives in ``Θ(log n)`` replicas (the replica group is a clique —
+  the erasure-coding hook the paper mentions);
+* degree ``Θ(log n)`` — the §6 intro argues a logarithmic degree is
+  *necessary* for resilience against constant-probability faults;
+* the canonical continuous path of any lookup can be emulated through
+  *any* alive covers of its points, which is what the two §6.3 lookup
+  algorithms exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.continuous import ContinuousGraph
+from ..core.interval import normalize
+from ..hashing.kwise import Key, PointHasher
+
+__all__ = ["OverlappingDHNetwork"]
+
+
+class OverlappingDHNetwork:
+    """Static overlapping-segment Distance Halving network."""
+
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        coverage_factor: float = 1.0,
+        item_hash: Optional[PointHasher] = None,
+    ):
+        if n < 8:
+            raise ValueError("need at least eight servers")
+        self.graph = ContinuousGraph(2)
+        self.points: List[float] = sorted(float(p) for p in rng.random(n))
+        self.coverage_factor = float(coverage_factor)
+        self.item_hash = item_hash if item_hash is not None else PointHasher(rng)
+        # α_i: local log-n estimate from the predecessor gap (§6.2), scaled
+        self.alpha: Dict[float, int] = {}
+        self.end: Dict[float, float] = {}
+        for i, x in enumerate(self.points):
+            gap = (x - self.points[i - 1]) % 1.0
+            est = max(1, round(math.log2(1.0 / gap))) if gap > 0 else 1
+            a = max(2, int(round(self.coverage_factor * est)))
+            a = min(a, n - 2)
+            self.alpha[x] = a
+            self.end[x] = self.points[(i + a) % n]
+        self.store: Dict[Key, Set[float]] = {}
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    def segment_of(self, x: float) -> Tuple[float, float]:
+        """The closed overlapping segment ``[x_i, y_i]`` (may wrap)."""
+        return (x, self.end[x])
+
+    def covers_point(self, x: float, y: float) -> bool:
+        """Does server ``x`` cover point ``y``? (closed segment, cyclic)."""
+        a, b = x, self.end[x]
+        return (y - a) % 1.0 <= (b - a) % 1.0
+
+    def covers(self, y: float, alive: Optional[Set[float]] = None) -> List[float]:
+        """All servers covering ``y`` (optionally restricted to alive ones).
+
+        A cover's start point is one of the ~``max α`` predecessors of
+        ``y``, so the scan is logarithmic.
+        """
+        y = normalize(float(y))
+        n = self.n
+        i = bisect_right(self.points, y) - 1
+        out = []
+        max_back = min(n, max(self.alpha.values()) + 2)
+        for k in range(max_back):
+            x = self.points[(i - k) % n]
+            if self.covers_point(x, y):
+                if alive is None or x in alive:
+                    out.append(x)
+        return out
+
+    def coverage_counts(self, probes: np.ndarray) -> np.ndarray:
+        """Number of covers of each probe point (Θ(log n) whp)."""
+        return np.array([len(self.covers(float(p))) for p in probes])
+
+    # ------------------------------------------------------------- topology
+    def neighbors(self, x: float) -> List[float]:
+        """Overlap edges plus continuous-graph edges (§6.2's edge set)."""
+        out: Dict[float, None] = {}
+        a, b = x, self.end[x]
+        seg_len = (b - a) % 1.0
+        # overlapping servers: those whose segment intersects [a, b]
+        for y in self.covers(a) + self.covers(b):
+            out.setdefault(y, None)
+        i = bisect_left(self.points, x)
+        k = i
+        while True:
+            k = (k + 1) % self.n
+            p = self.points[k]
+            if (p - a) % 1.0 <= seg_len:
+                out.setdefault(p, None)
+            else:
+                break
+            if k == i:
+                break
+        # continuous edges: covers of the images and preimage of [a, b]
+        for probe in self._image_probes(a, seg_len):
+            for y in self.covers(probe):
+                out.setdefault(y, None)
+        out.pop(x, None)
+        return list(out)
+
+    def _image_probes(self, a: float, seg_len: float) -> List[float]:
+        """Sample points of l/r/b images of the segment (edge probes)."""
+        ts = np.linspace(0.0, seg_len, 5)
+        pts = [(a + t) % 1.0 for t in ts]
+        probes: List[float] = []
+        for p in pts:
+            probes.append(p / 2.0)
+            probes.append(p / 2.0 + 0.5)
+            probes.append((2.0 * p) % 1.0)
+        return probes
+
+    def degree(self, x: float) -> int:
+        return len(self.neighbors(x))
+
+    def max_degree(self) -> int:
+        return max(self.degree(x) for x in self.points)
+
+    # ------------------------------------------------------------ data items
+    def store_item(self, key: Key, value) -> List[float]:
+        """Replicate an item to every server covering its hash point."""
+        pos = self.item_hash(key)
+        owners = self.covers(pos)
+        self.store[key] = set(owners)
+        return owners
+
+    def replica_group(self, key: Key) -> List[float]:
+        """Servers holding the item — pairwise connected (a clique, §6.2)."""
+        return self.covers(self.item_hash(key))

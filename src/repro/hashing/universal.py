@@ -1,0 +1,58 @@
+"""Low-independence hash families used as weaker comparison points.
+
+Section 3.3 of the paper emphasises that the single-hotspot cache bounds
+only need *one-wise* independence ("a very weak requirement; for instance
+the common notion of a pairwise independent family satisfies this").  The
+ablation experiments therefore also run the caching protocol with a
+pairwise family to verify the theorem's hypothesis is as weak as claimed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kwise import MERSENNE_P, Key, KWiseHash, key_to_int
+
+__all__ = ["PairwiseHash", "OneWiseHash", "AdversarialConstantHash"]
+
+
+class PairwiseHash(KWiseHash):
+    """``h(x) = (a x + b mod p)/p`` — the classic 2-wise independent family."""
+
+    def __init__(self, rng: np.random.Generator):
+        super().__init__(2, rng)
+
+
+class OneWiseHash(KWiseHash):
+    """Uniform marginals only (degree-0 polynomial plus key mixing).
+
+    A random shift ``h(x) = (x + b mod p)/p``.  Marginally uniform for any
+    fixed key (the Lemma 3.7 hypothesis) but the *joint* distribution over
+    several keys is maximally correlated, making it a good adversarial
+    stress for the multi-hotspot experiment E8.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        super().__init__(1, rng)
+        self._shift = self.coefficients[0]
+
+    def hash_int(self, key: Key) -> int:
+        return (key_to_int(key) + self._shift) % self.prime
+
+
+class AdversarialConstantHash:
+    """A pathological ``h`` that maps every item to the same point.
+
+    Lemma 3.5 "holds even if an adversary is allowed to choose h(i)" — the
+    single-hotspot cache bound does not use hash randomness at all.  This
+    class lets the test suite exercise exactly that adversary.
+    """
+
+    def __init__(self, point: float = 0.0):
+        self.point = float(point) % 1.0
+
+    def __call__(self, key: Key) -> float:
+        return self.point
+
+    def hash_int(self, key: Key) -> int:
+        return int(self.point * MERSENNE_P)

@@ -1,0 +1,58 @@
+"""Simulation substrate: event engine, asyncio runtime, workloads, churn."""
+
+from .asyncnet import AsyncDHNetwork, run_async_lookups
+from .churn import ChurnOp, ChurnReport, ChurnTrace, run_churn
+from .engine import Event, EventLoop, Message, SimNetwork, SimNode
+from .protocol import (
+    DHProtocolNode,
+    LookupOutcome,
+    build_protocol_network,
+    run_protocol_lookup,
+)
+from .metrics import Summary, log_slope, loglog_slope, summarize
+from .rng import root_rng, spawn, spawn_many
+from .workload import (
+    adversarial_point_demands,
+    funnel_workload,
+    bit_reversal_permutation,
+    random_pairs,
+    random_permutation,
+    shift_permutation,
+    single_hotspot_demands,
+    uniform_points,
+    zipf_demands,
+)
+
+__all__ = [
+    "AsyncDHNetwork",
+    "ChurnOp",
+    "ChurnReport",
+    "ChurnTrace",
+    "DHProtocolNode",
+    "LookupOutcome",
+    "build_protocol_network",
+    "run_protocol_lookup",
+    "Event",
+    "EventLoop",
+    "Message",
+    "SimNetwork",
+    "SimNode",
+    "Summary",
+    "adversarial_point_demands",
+    "bit_reversal_permutation",
+    "log_slope",
+    "loglog_slope",
+    "funnel_workload",
+    "random_pairs",
+    "random_permutation",
+    "root_rng",
+    "run_async_lookups",
+    "run_churn",
+    "shift_permutation",
+    "single_hotspot_demands",
+    "spawn",
+    "spawn_many",
+    "summarize",
+    "uniform_points",
+    "zipf_demands",
+]

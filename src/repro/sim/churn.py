@@ -1,0 +1,144 @@
+"""Churn processes: servers joining and leaving over time.
+
+The cost-of-join/leave metric of §1 and the smoothness-under-deletions
+question of §4.1 both need a driver that applies join/leave traces to a
+network (or balancer) and records per-operation costs.  Two processes are
+provided:
+
+* :class:`ChurnTrace` — a reproducible sequence of join/leave ops with a
+  tunable leave fraction (the "half the servers leave" stress of §4.1);
+* :func:`run_churn` — applies a trace to a
+  :class:`~repro.core.network.DistanceHalvingNetwork` with a chosen id
+  strategy, measuring state-change cost (how many servers' neighbour
+  sets were touched) per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.network import DistanceHalvingNetwork
+
+__all__ = ["ChurnOp", "ChurnTrace", "run_churn", "ChurnReport"]
+
+OpKind = Literal["join", "leave"]
+
+
+@dataclass(frozen=True)
+class ChurnOp:
+    kind: OpKind
+    # for leaves: index into the then-alive server list (mod current size)
+    victim: int = 0
+
+
+@dataclass
+class ChurnTrace:
+    """A reproducible interleaving of joins and leaves."""
+
+    ops: List[ChurnOp]
+
+    @classmethod
+    def generate(
+        cls,
+        rng: np.random.Generator,
+        steps: int,
+        leave_prob: float = 0.3,
+        warmup: int = 16,
+    ) -> "ChurnTrace":
+        ops: List[ChurnOp] = [ChurnOp("join") for _ in range(warmup)]
+        for _ in range(steps):
+            if rng.random() < leave_prob:
+                ops.append(ChurnOp("leave", victim=int(rng.integers(1 << 30))))
+            else:
+                ops.append(ChurnOp("join"))
+        return cls(ops)
+
+    @classmethod
+    def mass_departure(cls, rng: np.random.Generator, n: int, fraction: float = 0.5
+                       ) -> "ChurnTrace":
+        """Join n servers then delete a random ``fraction`` of them (§4.1)."""
+        ops: List[ChurnOp] = [ChurnOp("join") for _ in range(n)]
+        for _ in range(int(n * fraction)):
+            ops.append(ChurnOp("leave", victim=int(rng.integers(1 << 30))))
+        return cls(ops)
+
+
+@dataclass
+class ChurnReport:
+    """Outcome of applying a churn trace."""
+
+    smoothness_series: List[float] = field(default_factory=list)
+    touched_per_op: List[int] = field(default_factory=list)
+    final_n: int = 0
+
+    def max_touched(self) -> int:
+        return max(self.touched_per_op, default=0)
+
+    def mean_touched(self) -> float:
+        if not self.touched_per_op:
+            return 0.0
+        return float(np.mean(self.touched_per_op))
+
+    def final_smoothness(self) -> float:
+        return self.smoothness_series[-1] if self.smoothness_series else float("inf")
+
+
+def run_churn(
+    net: DistanceHalvingNetwork,
+    trace: ChurnTrace,
+    rng: np.random.Generator,
+    selector: Optional[Callable] = None,
+    sample_every: int = 8,
+) -> ChurnReport:
+    """Apply a churn trace; measure smoothness and per-op locality.
+
+    The per-op cost counts the servers whose neighbour set changes — the
+    §1 "cost of join/leave" metric.  Cost is measured exactly (before vs
+    after neighbour sets of the affected region) every ``sample_every``
+    ops to keep the driver fast, since neighbourhood recomputation is the
+    expensive part.
+    """
+    report = ChurnReport()
+    step = 0
+    for op in trace.ops:
+        measure = (step % sample_every == 0) and net.n > 2
+        affected_before = {}
+        region: List[float] = []
+        if measure:
+            # the affected region is the target point's vicinity
+            pass
+        if op.kind == "join" or net.n == 0:
+            if measure:
+                probe = float(rng.random())
+                owner = net.segments.cover_point(probe)
+                region = [owner] + net.neighbor_points(owner)
+                affected_before = {q: frozenset(net.neighbor_points(q)) for q in region}
+                new_srv = net.join(point=probe if selector is None else None,
+                                   selector=selector)
+            else:
+                new_srv = net.join(selector=selector)
+        else:
+            pts = list(net.points())
+            victim = pts[op.victim % len(pts)]
+            if measure:
+                region = [victim] + net.neighbor_points(victim)
+                affected_before = {q: frozenset(net.neighbor_points(q)) for q in region}
+            net.leave(victim)
+        if measure:
+            touched = 0
+            for q, before in affected_before.items():
+                if q in net.servers and frozenset(net.neighbor_points(q)) != before:
+                    touched += 1
+                elif q not in net.servers:
+                    touched += 1
+            report.touched_per_op.append(touched)
+            if net.n >= 2:
+                report.smoothness_series.append(net.smoothness())
+        step += 1
+    report.final_n = net.n
+    if net.n >= 2:
+        report.smoothness_series.append(net.smoothness())
+    return report

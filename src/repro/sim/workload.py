@@ -1,0 +1,147 @@
+"""Request workload generators for the experiments.
+
+Each generator is a deterministic function of its RNG, covering the
+demand patterns the paper analyses:
+
+* uniform random points (Theorems 2.7 / 2.9 congestion);
+* permutations, incl. the bit-reversal worst case (Theorem 2.10);
+* hashed distinct items (Theorem 2.11);
+* single/multiple hot spots with Zipf or adversarial skew (§3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "uniform_points",
+    "random_pairs",
+    "random_permutation",
+    "bit_reversal_permutation",
+    "shift_permutation",
+    "zipf_demands",
+    "single_hotspot_demands",
+    "adversarial_point_demands",
+]
+
+
+def uniform_points(rng: np.random.Generator, count: int) -> np.ndarray:
+    """``count`` i.i.d. uniform targets in ``[0, 1)``."""
+    return rng.random(count)
+
+
+def random_pairs(
+    points: Sequence[float], rng: np.random.Generator, count: int
+) -> List[Tuple[float, float]]:
+    """Random (source server, target point) pairs — Definition 3's model."""
+    idx = rng.integers(0, len(points), size=count)
+    targets = rng.random(count)
+    return [(points[i], float(t)) for i, t in zip(idx, targets)]
+
+
+def random_permutation(
+    points: Sequence[float], rng: np.random.Generator
+) -> List[Tuple[float, float]]:
+    """η a uniform permutation: server i looks up a point in s(x_η(i))."""
+    n = len(points)
+    perm = rng.permutation(n)
+    return [(points[i], points[perm[i]]) for i in range(n)]
+
+
+def bit_reversal_permutation(points: Sequence[float]) -> List[Tuple[float, float]]:
+    """The classic adversarial permutation for hypercubic networks.
+
+    Server ``i`` targets the point whose binary expansion is the reversal
+    of its own id point's first ``log2 n`` bits — the permutation that
+    breaks deterministic oblivious routing (and motivates Valiant-style
+    randomisation, §2.2.3).
+    """
+    n = len(points)
+    bits = max(1, int(math.ceil(math.log2(max(2, n)))))
+    out = []
+    for p in points:
+        v = int(p * (1 << bits)) & ((1 << bits) - 1)
+        rev = int(format(v, f"0{bits}b")[::-1], 2)
+        out.append((p, (rev + 0.5) / (1 << bits)))
+    return out
+
+
+def shift_permutation(points: Sequence[float], shift: float = 0.5) -> List[Tuple[float, float]]:
+    """Everyone targets the diametrically shifted point (a cyclic shift)."""
+    return [(p, (p + shift) % 1.0) for p in points]
+
+
+def zipf_demands(
+    n_items: int, total: int, rng: np.random.Generator, exponent: float = 1.2
+) -> List[int]:
+    """Demand vector ``q_i`` with ``Σ q_i = total`` following a Zipf law.
+
+    The §3.4 setting: an arbitrary demand over ``n`` items summing to
+    ``n``; Zipf is the canonical skew (a few very hot items).
+    """
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    counts = rng.multinomial(total, weights)
+    return counts.tolist()
+
+
+def single_hotspot_demands(n_items: int, total: int, hot_index: int = 0) -> List[int]:
+    """All demand on one item — the §3.3 single-hotspot stress."""
+    q = [0] * n_items
+    q[hot_index] = total
+    return q
+
+
+def funnel_workload(net, c: float = 0.37, depth: int = 4) -> List[Tuple[float, float]]:
+    """Targets crafted so deterministic Fast-Lookup paths share one point.
+
+    For each server the adversary (who knows the ids, as §2.2.3 allows)
+    solves ``w(σ(z)_depth, y) = c`` for the target ``y``: the backward
+    path of the Fast Lookup then passes through ``c`` at depth ``depth``,
+    concentrating Ω(n) messages on the server covering ``c``.  The
+    randomised two-phase lookup is immune — its digits are fresh per
+    message — which is exactly the point of Theorem 2.10.
+
+    Because the algorithm picks its own walk length ``t`` (and its digit
+    string depends on ``t``), candidate targets are verified against the
+    real algorithm and the best-aligned one is kept per source.
+    """
+    from ..core.lookup import fast_lookup  # local import to avoid a cycle
+
+    g = net.graph
+    pairs: List[Tuple[float, float]] = []
+    scale = g.delta**depth
+    for p in net.points():
+        z = net.segments.segment_of(p).midpoint
+        chosen = None
+        for t in range(depth, depth + 24):
+            digits = g.approach_digits(z, t)[:depth]
+            off = sum(d * g.delta**k for k, d in enumerate(digits))
+            # walk(digits, y) = (y + off)/scale, so walk = c ⟺ y = c·scale − off
+            y = ((c * scale) - off) % 1.0
+            res = fast_lookup(net, p, y)
+            if any(abs(q - c) < 1e-9 for q in res.continuous_path):
+                chosen = y
+                break
+        pairs.append((p, chosen if chosen is not None else c))
+    return pairs
+
+
+def adversarial_point_demands(
+    points: Sequence[float], total: int
+) -> List[Tuple[float, int]]:
+    """Hot items placed exactly on the worst server boundary points.
+
+    Lemma 3.5 holds 'even if an adversary is allowed to choose h(i)';
+    this generator pins hot positions at segment boundaries to exercise
+    that case (positions, not hashed items).
+    """
+    k = max(1, len(points) // 8)
+    chosen = list(points)[:: max(1, len(points) // k)][:k]
+    per = total // len(chosen)
+    return [(p, per) for p in chosen]

@@ -1,0 +1,108 @@
+"""Unit tests for the bucket balancer (paper §4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.balance import BucketBalancer
+
+
+def churn(balancer, rng, joins, leaves_prob=0.0, steps=None):
+    steps = steps if steps is not None else joins
+    alive = []
+    for _ in range(steps):
+        if not alive or rng.random() >= leaves_prob:
+            alive.append(balancer.join(rng))
+        else:
+            idx = int(rng.integers(len(alive)))
+            balancer.leave(alive.pop(idx), rng)
+    return alive
+
+
+class TestBasics:
+    def test_first_join(self):
+        b = BucketBalancer()
+        rng = np.random.default_rng(0)
+        p = b.join(rng)
+        assert b.n == 1
+        assert 0 <= p < 1
+
+    def test_join_many_invariants(self):
+        b = BucketBalancer()
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            b.join(rng)
+        b.check_invariants()
+        assert b.n == 300
+
+    def test_bucket_sizes_logarithmic(self):
+        b = BucketBalancer()
+        rng = np.random.default_rng(2)
+        for _ in range(500):
+            b.join(rng)
+        log_n = math.log2(500)
+        sizes = [bk.size() for bk in b.buckets]
+        assert max(sizes) <= b.hi_factor * log_n + 1
+        # merge/split keep the minimum from collapsing (except transients)
+        assert min(sizes) >= 1
+
+    def test_leave_unknown_raises(self):
+        b = BucketBalancer()
+        rng = np.random.default_rng(3)
+        b.join(rng)
+        with pytest.raises(KeyError):
+            b.leave(0.123456789, rng)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            BucketBalancer(rebalance_threshold=0.5)
+
+
+class TestSmoothnessUnderChurn:
+    def test_smoothness_after_joins(self):
+        b = BucketBalancer(rebalance_threshold=3.0)
+        rng = np.random.default_rng(4)
+        for _ in range(400):
+            b.join(rng)
+        # rebalancing keeps ρ polylog (vs Θ(n log n) for raw single choice)
+        assert b.smoothness() <= 8 * math.log2(400) ** 2
+
+    def test_random_deletions_do_not_blow_up(self):
+        """The scenario of §4.1: delete half the servers at random."""
+        b = BucketBalancer(rebalance_threshold=3.0)
+        rng = np.random.default_rng(5)
+        pts = [b.join(rng) for _ in range(600)]
+        rng.shuffle(pts)
+        for p in pts[:300]:
+            b.leave(p, rng)
+        b.check_invariants()
+        n = b.n
+        assert b.smoothness() <= 8 * math.log2(n) ** 2
+
+    def test_sustained_churn(self):
+        b = BucketBalancer(rebalance_threshold=3.0)
+        rng = np.random.default_rng(6)
+        churn(b, rng, joins=200)
+        churn(b, rng, joins=0, leaves_prob=0.5, steps=400)
+        b.check_invariants()
+        assert b.n >= 2
+
+    def test_cost_accounting(self):
+        b = BucketBalancer(rebalance_threshold=2.0)
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            b.join(rng)
+        assert b.total_id_changes >= b.rebalances  # each rebalance moves ≥1
+        # amortised cost should be modest: O(polylog) per op on average
+        assert b.total_id_changes / 200 <= 4 * math.log2(200) ** 2
+
+    def test_higher_threshold_fewer_rebalances(self):
+        """Paper: 'rearrange only when smoothness exceeds a tunable parameter'."""
+        rng1, rng2 = np.random.default_rng(8), np.random.default_rng(8)
+        tight = BucketBalancer(rebalance_threshold=2.0)
+        loose = BucketBalancer(rebalance_threshold=16.0)
+        for _ in range(300):
+            tight.join(rng1)
+            loose.join(rng2)
+        assert loose.rebalances <= tight.rebalances

@@ -1,0 +1,58 @@
+"""Unit tests for the Kenthapadi–Manku hybrid probe strategy (§4.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.balance import HybridChoice, ImprovedSingleChoice, MultipleChoice, SingleChoice
+from repro.core.segments import SegmentMap
+
+
+def grow(strategy, n, seed=0):
+    rng = np.random.default_rng(seed)
+    sm = SegmentMap()
+    for _ in range(n):
+        sm.insert(strategy.select(sm, rng))
+    return sm
+
+
+class TestHybridChoice:
+    def test_empty_map(self):
+        rng = np.random.default_rng(0)
+        p = HybridChoice().select(SegmentMap(), rng)
+        assert 0 <= p < 1
+
+    def test_returns_midpoint_of_longest_in_run(self):
+        rng = np.random.default_rng(1)
+        sm = SegmentMap([0.0, 0.1, 0.5])  # lengths 0.1, 0.4, 0.5
+        # with r = full scan, the longest segment in any run containing it wins
+        p = HybridChoice(r=3).select(sm, rng)
+        assert p == pytest.approx(0.75)  # midpoint of [0.5, 1.0)
+
+    def test_smoothness_constant(self):
+        sm = grow(HybridChoice(), 1024, seed=2)
+        assert sm.smoothness() <= 16
+        assert sm.min_segment_length() >= 1 / (8 * 1024)
+
+    def test_between_improved_and_multiple(self):
+        """§4.2's remark: sequential probes ≈ Multiple Choice quality at
+        one lookup per join."""
+        n = 1024
+        rho_hybrid = grow(HybridChoice(), n, seed=3).smoothness()
+        rho_improved = grow(ImprovedSingleChoice(), n, seed=3).smoothness()
+        rho_single = grow(SingleChoice(), n, seed=3).smoothness()
+        assert rho_hybrid <= rho_improved
+        assert rho_hybrid < rho_single / 4
+
+    def test_r_validation(self):
+        with pytest.raises(ValueError):
+            HybridChoice(r=0)
+
+    def test_usable_as_selector(self):
+        from repro.core import DistanceHalvingNetwork
+
+        rng = np.random.default_rng(4)
+        net = DistanceHalvingNetwork(rng=rng)
+        net.populate(128, selector=HybridChoice())
+        assert net.max_out_degree() <= net.smoothness() + 4

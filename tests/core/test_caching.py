@@ -1,0 +1,222 @@
+"""Unit tests for the dynamic caching protocol (paper §3).
+
+Checks the Continuous Hot Spots Protocol step by step (growth, blocking,
+collapse), Observation 3.1's size bound, Lemma 3.3's depth bound, and the
+content-update claim — plus the discrete mapping of active nodes to
+servers (Figure 3).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CacheSystem, DistanceHalvingNetwork
+from repro.core.caching import ActiveTree
+from repro.core.pathtree import PathTree
+
+
+def make_net(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    net = DistanceHalvingNetwork(rng=rng)
+    net.populate(n)
+    return net, rng
+
+
+def drive_requests(cache, net, rng, item, count):
+    pts = list(net.points())
+    results = []
+    for _ in range(count):
+        src = pts[int(rng.integers(len(pts)))]
+        results.append(cache.request(item, src, rng))
+    return results
+
+
+class TestActiveTreeProtocol:
+    def test_root_always_active(self):
+        tree = ActiveTree(PathTree(0.5), threshold=3)
+        assert () in tree.active
+        assert tree.size() == 1
+        assert tree.is_leaf(())
+
+    def test_serving_node_is_deepest_active_prefix(self):
+        tree = ActiveTree(PathTree(0.5), threshold=3)
+        tree.active |= {(0,), (1,), (0, 1)}
+        assert tree.serving_node((0, 1, 1, 0)) == (0, 1)
+        assert tree.serving_node((1, 1, 0)) == (1,)
+        assert tree.serving_node(()) == ()
+
+    def test_replication_after_threshold(self):
+        tree = ActiveTree(PathTree(0.5), threshold=2)
+        # two hits are fine, the third (> c) replicates
+        tree.serve((0, 0))
+        tree.serve((0, 1))
+        assert tree.size() == 1
+        node, rep = tree.serve((1, 0))
+        assert rep
+        assert tree.size() == 3
+        assert (0,) in tree.active and (1,) in tree.active
+
+    def test_blocked_leaf_does_not_replicate_twice(self):
+        tree = ActiveTree(PathTree(0.5), threshold=1)
+        tree.serve((0,))
+        _, rep1 = tree.serve((1,))
+        assert rep1
+        # entry exactly at the root keeps hitting it but cannot re-replicate
+        _, rep2 = tree.serve(())
+        assert not rep2
+        assert tree.size() == 3
+
+    def test_deep_entries_stop_at_children_after_split(self):
+        tree = ActiveTree(PathTree(0.5), threshold=1)
+        tree.serve((0, 0))
+        tree.serve((0, 1))  # replicates root -> children
+        node, _ = tree.serve((0, 1))
+        assert node == (0,)
+
+    def test_collapse_quiet_epoch(self):
+        tree = ActiveTree(PathTree(0.5), threshold=2)
+        for tau in ((0, 0), (0, 1), (1, 0), (1, 1), (0, 0)):
+            tree.serve(tau)
+        assert tree.size() == 3
+        tree.advance_epoch()  # children served < c each in the epoch? they
+        # were hit 0 times (root served all) -> collapse
+        assert tree.size() == 1
+
+    def test_collapse_recursion_multiple_levels(self):
+        tree = ActiveTree(PathTree(0.5), threshold=1)
+        # force a depth-2 active tree
+        tree.active |= {(0,), (1,), (0, 0), (0, 1)}
+        removed = tree.advance_epoch()
+        assert removed == 4
+        assert tree.active == {()}
+
+    def test_no_collapse_under_sustained_demand(self):
+        tree = ActiveTree(PathTree(0.5), threshold=1)
+        tree.active |= {(0,), (1,)}
+        tree.served[(0,)] = 5
+        tree.served[(1,)] = 5
+        tree.advance_epoch()
+        assert tree.size() == 3
+
+    def test_counters_reset_between_epochs(self):
+        tree = ActiveTree(PathTree(0.5), threshold=10)
+        tree.serve((0,))
+        tree.advance_epoch()
+        assert sum(tree.served.values()) == 0
+        assert tree.supplied_prev[()] == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ActiveTree(PathTree(0.1), threshold=0)
+
+
+class TestObservation31:
+    """Active tree ≤ 4q/c nodes at epoch end, for every initial tree."""
+
+    @pytest.mark.parametrize("q,c", [(100, 5), (500, 10), (1000, 50)])
+    def test_size_bound(self, q, c):
+        rng = np.random.default_rng(q + c)
+        tree = ActiveTree(PathTree(0.37), threshold=c)
+        depth = 12
+        for _ in range(q):
+            tau = tuple(int(d) for d in rng.integers(0, 2, size=depth))
+            tree.serve(tau)
+        tree.advance_epoch()
+        assert tree.size() <= max(1, 4 * q / c)
+
+
+class TestLemma33:
+    """Depth of the active tree ≤ log2(q/c) + O(1) w.h.p."""
+
+    def test_depth_bound(self):
+        rng = np.random.default_rng(1)
+        c = 8
+        q = 1024
+        tree = ActiveTree(PathTree(0.61), threshold=c)
+        for _ in range(q):
+            tau = tuple(int(d) for d in rng.integers(0, 2, size=16))
+            tree.serve(tau)
+        assert tree.depth() <= math.log2(q / c) + 3
+
+
+class TestCacheSystem:
+    def test_requests_are_served_by_active_nodes(self):
+        net, rng = make_net(64, seed=2)
+        cache = CacheSystem(net, threshold=4)
+        res = drive_requests(cache, net, rng, "hot", 50)
+        for r in res:
+            assert r.serving_node in cache.tree_for("hot").active
+
+    def test_cache_path_never_longer_than_plain_lookup(self):
+        """'No Caching Latency': serving at a cache only shortens the path."""
+        net, rng = make_net(64, seed=3)
+        cache = CacheSystem(net, threshold=2)
+        res = drive_requests(cache, net, rng, "hot", 100)
+        for r in res:
+            assert r.hops <= r.lookup.hops
+
+    def test_hot_item_replicates(self):
+        net, rng = make_net(64, seed=4)
+        cache = CacheSystem(net, threshold=2)
+        drive_requests(cache, net, rng, "hot", 100)
+        assert cache.tree_for("hot").size() > 1
+
+    def test_cold_items_stay_single_copy(self):
+        net, rng = make_net(64, seed=5)
+        cache = CacheSystem(net, threshold=50)
+        for i in range(20):
+            drive_requests(cache, net, rng, f"cold{i}", 1)
+        assert cache.total_copies() == 0
+
+    def test_default_threshold_is_log_n(self):
+        net, _ = make_net(256, seed=6)
+        cache = CacheSystem(net)
+        assert cache.c == 8
+
+    def test_epoch_collapse_after_demand_stops(self):
+        net, rng = make_net(64, seed=7)
+        cache = CacheSystem(net, threshold=2)
+        drive_requests(cache, net, rng, "hot", 200)
+        cache.advance_epoch()  # hot epoch ends; counters reset
+        removed = cache.advance_epoch()  # fully quiet epoch: collapse
+        assert removed > 0
+        assert cache.tree_for("hot").size() == 1
+
+    def test_items_cached_accounting(self):
+        net, rng = make_net(64, seed=8)
+        cache = CacheSystem(net, threshold=2)
+        drive_requests(cache, net, rng, "hot", 100)
+        total = sum(cache.items_cached_at(p) for p in net.segments)
+        # every active node lives on exactly one server
+        assert total >= 1
+        assert cache.max_items_cached() >= 1
+
+    def test_requests_counter(self):
+        net, rng = make_net(32, seed=9)
+        cache = CacheSystem(net, threshold=3)
+        drive_requests(cache, net, rng, "a", 17)
+        assert cache.requests_served == 17
+        assert cache.summary()["requests"] == 17.0
+
+
+class TestContentUpdate:
+    """§3 Content Update: O(log n) messages and time down the active tree."""
+
+    def test_update_cost_matches_tree(self):
+        net, rng = make_net(64, seed=10)
+        cache = CacheSystem(net, threshold=2)
+        drive_requests(cache, net, rng, "hot", 300)
+        tree = cache.tree_for("hot")
+        messages, time = tree.update_content(net)
+        assert messages == tree.size() - 1
+        assert time == tree.depth()
+        q, c = 300, 2
+        assert messages <= 4 * q / c
+        assert time <= math.log2(q / c) + 3
+
+    def test_update_on_cold_tree_is_free(self):
+        net, rng = make_net(32, seed=11)
+        cache = CacheSystem(net, threshold=5)
+        tree = cache.tree_for("x")
+        assert tree.update_content(net) == (0, 0)

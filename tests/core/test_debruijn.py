@@ -1,0 +1,86 @@
+"""Unit tests for De Bruijn graphs and the §2.1 isomorphism claim."""
+
+import networkx as nx
+import pytest
+
+from repro.core.debruijn import (
+    bit_reversal,
+    debruijn_diameter,
+    debruijn_graph,
+    debruijn_nodes,
+    debruijn_successors,
+    distance_halving_is_debruijn,
+    string_to_value,
+    value_to_string,
+)
+
+
+class TestStructure:
+    def test_node_count(self):
+        assert len(list(debruijn_nodes(3))) == 8
+        assert len(list(debruijn_nodes(2, delta=3))) == 9
+
+    def test_edge_count_definition(self):
+        # Definition 2: 2^r nodes, 2^{r+1} directed edges
+        g = debruijn_graph(4)
+        assert g.number_of_nodes() == 16
+        assert g.number_of_edges() == 32
+
+    def test_edge_count_delta(self):
+        # Definition 4: Δ^r nodes and Δ^{r+1} edges
+        g = debruijn_graph(2, delta=3)
+        assert g.number_of_nodes() == 9
+        assert g.number_of_edges() == 27
+
+    def test_successors_shift_left(self):
+        assert debruijn_successors((1, 0, 1)) == [(0, 1, 0), (0, 1, 1)]
+
+    def test_out_degree_is_delta(self):
+        g = debruijn_graph(3, delta=4)
+        assert all(d == 4 for _, d in g.out_degree())
+
+    def test_in_degree_is_delta(self):
+        g = debruijn_graph(3, delta=4)
+        assert all(d == 4 for _, d in g.in_degree())
+
+    def test_rejects_r_zero(self):
+        with pytest.raises(ValueError):
+            list(debruijn_nodes(0))
+
+
+class TestDiameter:
+    @pytest.mark.parametrize("r,delta", [(3, 2), (4, 2), (2, 3), (3, 3)])
+    def test_diameter_is_r(self, r, delta):
+        """The De Bruijn graph meets the Moore bound: diameter log_Δ n = r."""
+        g = debruijn_graph(r, delta)
+        measured = max(
+            max(lengths.values())
+            for _, lengths in nx.all_pairs_shortest_path_length(g)
+        )
+        assert measured == debruijn_diameter(r, delta) == r
+
+
+class TestValueConversions:
+    def test_roundtrip(self):
+        for v in range(16):
+            assert string_to_value(value_to_string(v, 4)) == v
+
+    def test_roundtrip_delta3(self):
+        for v in range(27):
+            assert string_to_value(value_to_string(v, 3, 3), 3) == v
+
+    def test_bit_reversal_involution(self):
+        s = (1, 0, 1, 1)
+        assert bit_reversal(bit_reversal(s)) == s
+
+
+class TestIsomorphism:
+    """§2.1: G_x at x_i = i/Δ^r (no ring) ≅ the r-dimensional De Bruijn graph."""
+
+    @pytest.mark.parametrize("r", [1, 2, 3, 4, 5])
+    def test_binary(self, r):
+        assert distance_halving_is_debruijn(r, 2)
+
+    @pytest.mark.parametrize("r,delta", [(1, 3), (2, 3), (3, 3), (1, 4), (2, 4), (2, 5)])
+    def test_general_alphabet(self, r, delta):
+        assert distance_halving_is_debruijn(r, delta)

@@ -1,0 +1,130 @@
+"""Edge-case coverage: small helpers and error paths across core modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistanceHalvingNetwork, dh_lookup, fast_lookup
+from repro.core.lookup import LookupResult
+from repro.core.node import Server
+from repro.core.segments import SegmentMap
+from repro.sim.engine import EventLoop
+from repro.sim.metrics import summarize
+
+
+class TestServer:
+    def test_default_name_from_point(self):
+        s = Server(point=0.125)
+        assert "0.125" in s.name
+
+    def test_reset_counters(self):
+        s = Server(point=0.5, name="x")
+        s.messages_handled = 7
+        s.lookups_initiated = 3
+        s.reset_counters()
+        assert s.messages_handled == 0 and s.lookups_initiated == 0
+
+    def test_hashable_by_point(self):
+        assert hash(Server(point=0.25)) == hash(Server(point=0.25, name="other"))
+
+
+class TestLookupResult:
+    def test_source_property(self):
+        r = LookupResult(target=0.5, owner=0.4, server_path=[0.1, 0.4],
+                         continuous_path=[], t=1)
+        assert r.source == 0.1
+        assert r.hops == 1
+
+    def test_zero_hop_result(self):
+        r = LookupResult(target=0.5, owner=0.4, server_path=[0.4],
+                         continuous_path=[], t=0)
+        assert r.hops == 0
+
+
+class TestSegmentMapExtras:
+    def test_as_array_dtype(self):
+        sm = SegmentMap([0.5, 0.25])
+        arr = sm.as_array()
+        assert arr.dtype == np.float64
+        assert list(arr) == [0.25, 0.5]
+
+    def test_empty_analytics_raise(self):
+        sm = SegmentMap()
+        with pytest.raises(LookupError):
+            sm.smoothness()
+        with pytest.raises(LookupError):
+            sm.min_segment_length()
+        with pytest.raises(LookupError):
+            sm.max_segment_length()
+        with pytest.raises(LookupError):
+            sm.covering_points(__import__("repro.core.interval", fromlist=["Arc"]).Arc(0.1, 0.2))
+
+    def test_contains(self):
+        sm = SegmentMap([0.5])
+        assert 0.5 in sm
+        assert 0.25 not in sm
+
+
+class TestNetworkExtras:
+    def test_server_at_and_owner_of(self):
+        net = DistanceHalvingNetwork()
+        net.join(0.2)
+        net.join(0.7)
+        assert net.server_at(0.2).point == 0.2
+        assert net.owner_of(0.5).point == 0.2
+        assert net.owner_of(0.9).point == 0.7
+
+    def test_points_sorted_view(self):
+        net = DistanceHalvingNetwork()
+        for p in (0.9, 0.1, 0.5):
+            net.join(p)
+        assert list(net.points()) == [0.1, 0.5, 0.9]
+
+    def test_average_degree_empty(self):
+        assert DistanceHalvingNetwork().average_degree() == 0.0
+
+    def test_lookup_from_non_server_point(self):
+        """Sources may be arbitrary points; routing starts at their cover."""
+        rng = np.random.default_rng(0)
+        net = DistanceHalvingNetwork(rng=rng)
+        net.populate(32)
+        res = fast_lookup(net, 0.123456, 0.9)
+        assert res.server_path[0] == net.segments.cover_point(0.123456)
+        res2 = dh_lookup(net, 0.123456, 0.9, rng)
+        assert res2.server_path[-1] == net.segments.cover_point(0.9)
+
+
+class TestEngineExtras:
+    def test_max_events_cap(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule(1.0, reschedule)
+
+        loop.schedule(1.0, reschedule)
+        loop.run(max_events=25)
+        assert loop.events_run == 25
+
+    def test_pending_count(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending() == 2
+
+
+class TestMetricsExtras:
+    def test_summary_as_dict(self):
+        d = summarize([1.0, 2.0, 3.0]).as_dict()
+        assert d["count"] == 3.0
+        assert d["mean"] == pytest.approx(2.0)
+
+
+class TestCliErrors:
+    def test_failing_experiment_sets_exit_code(self, monkeypatch, capsys):
+        from repro.cli import main
+        from repro.experiments import common
+
+        def fake(seed=0, quick=False):
+            return common.ExperimentResult("FAKE", "t", "c", checks={"x": False})
+
+        monkeypatch.setitem(common._REGISTRY, "FAKE", fake)
+        assert main(["run", "FAKE"]) == 1

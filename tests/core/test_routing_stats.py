@@ -1,0 +1,75 @@
+"""Unit tests for congestion accounting (Definition 3 bookkeeping)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CongestionCounter, DistanceHalvingNetwork, fast_lookup
+from repro.core.lookup import LookupResult
+from repro.core.routing_stats import path_lengths
+
+
+def fake_result(path):
+    return LookupResult(target=0.5, owner=path[-1], server_path=list(path),
+                        continuous_path=[], t=len(path) - 1)
+
+
+class TestCongestionCounter:
+    def test_empty(self):
+        c = CongestionCounter()
+        assert c.max_load() == 0
+        assert c.max_congestion() == 0.0
+        assert c.mean_load(10) == 0.0
+
+    def test_record_counts_every_server_once(self):
+        c = CongestionCounter()
+        c.record(fake_result([0.1, 0.2, 0.3]))
+        assert c.load_of(0.1) == c.load_of(0.2) == c.load_of(0.3) == 1
+        assert c.total_messages == 2
+
+    def test_max_congestion_is_frequency(self):
+        c = CongestionCounter()
+        for _ in range(4):
+            c.record(fake_result([0.1, 0.2]))
+        c.record(fake_result([0.3]))
+        assert c.max_congestion() == pytest.approx(4 / 5)
+
+    def test_record_path_raw(self):
+        c = CongestionCounter()
+        c.record_path([0.5, 0.6, 0.7, 0.8])
+        assert c.lookups == 1
+        assert c.total_messages == 3
+
+    def test_loads_vector_includes_zeros(self):
+        c = CongestionCounter()
+        c.record(fake_result([0.1]))
+        vec = c.loads([0.1, 0.2, 0.3])
+        assert list(vec) == [1.0, 0.0, 0.0]
+
+    def test_mean_load(self):
+        c = CongestionCounter()
+        c.record(fake_result([0.1, 0.2]))
+        c.record(fake_result([0.2, 0.3]))
+        assert c.mean_load(4) == pytest.approx(1.0)
+
+    def test_summary_keys(self):
+        c = CongestionCounter()
+        c.record(fake_result([0.1, 0.2]))
+        s = c.summary(2)
+        assert set(s) == {"lookups", "max_load", "mean_load", "max_congestion",
+                          "total_messages"}
+
+    def test_path_lengths_helper(self):
+        arr = path_lengths([fake_result([0.1, 0.2, 0.3]), fake_result([0.5])])
+        assert list(arr) == [2.0, 0.0]
+
+    def test_integration_with_real_lookups(self):
+        rng = np.random.default_rng(0)
+        net = DistanceHalvingNetwork(rng=rng)
+        net.populate(32)
+        c = CongestionCounter()
+        pts = list(net.points())
+        for _ in range(50):
+            c.record(fast_lookup(net, pts[int(rng.integers(32))], float(rng.random())))
+        assert c.lookups == 50
+        assert sum(c.visits.values()) >= 50  # at least the sources
+        assert c.max_load() >= 2             # some server repeats

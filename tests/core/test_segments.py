@@ -1,0 +1,197 @@
+"""Unit tests for the dynamic segment decomposition (paper §2.1)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.interval import Arc
+from repro.core.segments import SegmentMap
+
+
+@pytest.fixture
+def quarters():
+    return SegmentMap([0.0, 0.25, 0.5, 0.75])
+
+
+class TestConstruction:
+    def test_empty(self):
+        sm = SegmentMap()
+        assert len(sm) == 0
+        with pytest.raises(LookupError):
+            sm.cover(0.5)
+
+    def test_points_sorted(self):
+        sm = SegmentMap([0.7, 0.1, 0.4])
+        assert list(sm.points) == [0.1, 0.4, 0.7]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentMap([0.3, 0.3])
+
+    def test_normalizes_inputs(self):
+        sm = SegmentMap([1.25, -0.5])
+        assert list(sm.points) == [0.25, 0.5]
+
+
+class TestCover:
+    def test_interior(self, quarters):
+        assert quarters.cover(0.3) == 1
+        assert quarters.cover_point(0.3) == 0.25
+
+    def test_point_is_own_cover(self, quarters):
+        for i, p in enumerate(quarters.points):
+            assert quarters.cover(p) == i
+
+    def test_wrap_before_first(self):
+        sm = SegmentMap([0.2, 0.6])
+        # [0.6, 1)∪[0, 0.2) belongs to the last server
+        assert sm.cover(0.1) == 1
+        assert sm.cover(0.7) == 1
+        assert sm.cover(0.3) == 0
+
+    def test_single_server_covers_everything(self):
+        sm = SegmentMap([0.4])
+        for y in (0.0, 0.4, 0.9):
+            assert sm.cover(y) == 0
+
+
+class TestSegments:
+    def test_segment_arcs(self, quarters):
+        assert quarters.segment(0) == Arc(0.0, 0.25)
+        assert quarters.segment(3) == Arc(0.75, 0.0)  # wrapping last segment
+
+    def test_segment_of_point(self, quarters):
+        assert quarters.segment_of(0.5) == Arc(0.5, 0.75)
+
+    def test_single_segment_is_full_ring(self):
+        sm = SegmentMap([0.3])
+        assert float(sm.segment(0).length) == 1
+
+    def test_lengths_sum_to_one(self, quarters):
+        assert quarters.lengths().sum() == pytest.approx(1.0)
+
+    def test_lengths_random(self):
+        rng = np.random.default_rng(0)
+        sm = SegmentMap(rng.random(100))
+        assert sm.lengths().sum() == pytest.approx(1.0)
+        assert len(sm.lengths()) == 100
+
+    def test_predecessor_successor_ring(self, quarters):
+        assert quarters.predecessor(0.0) == 0.75
+        assert quarters.successor(0.75) == 0.0
+        assert quarters.successor(0.25) == 0.5
+
+
+class TestMutation:
+    def test_insert_returns_index(self, quarters):
+        assert quarters.insert(0.3) == 2
+        assert quarters.cover(0.35) == 2
+
+    def test_insert_duplicate_rejected(self, quarters):
+        with pytest.raises(ValueError):
+            quarters.insert(0.25)
+
+    def test_insert_splits_segment(self, quarters):
+        before = quarters.segment_of(0.25)
+        quarters.insert(0.3)
+        after = quarters.segment_of(0.25)
+        assert float(after.length) < float(before.length)
+        assert quarters.segment_of(0.3) == Arc(0.3, 0.5)
+
+    def test_remove(self, quarters):
+        quarters.remove(0.25)
+        assert 0.25 not in quarters
+        # predecessor's segment absorbed the range
+        assert quarters.segment_of(0.0) == Arc(0.0, 0.5)
+
+    def test_remove_missing_raises(self, quarters):
+        with pytest.raises(KeyError):
+            quarters.remove(0.33)
+
+    def test_index_of_missing_raises(self, quarters):
+        with pytest.raises(KeyError):
+            quarters.index_of(0.33)
+
+    def test_churn_preserves_invariants(self):
+        rng = np.random.default_rng(42)
+        sm = SegmentMap()
+        alive = []
+        for step in range(500):
+            if not alive or rng.random() < 0.6:
+                p = float(rng.random())
+                if p not in sm:
+                    sm.insert(p)
+                    alive.append(p)
+            else:
+                p = alive.pop(int(rng.integers(len(alive))))
+                sm.remove(p)
+            if len(sm):
+                sm.check_invariants()
+
+
+class TestCovering:
+    def test_arc_within_one_segment(self, quarters):
+        assert quarters.covering(Arc(0.3, 0.4)) == [1]
+
+    def test_arc_spanning_boundary(self, quarters):
+        assert sorted(quarters.covering(Arc(0.2, 0.3))) == [0, 1]
+
+    def test_arc_starting_on_boundary(self, quarters):
+        assert quarters.covering(Arc(0.25, 0.5)) == [1]
+
+    def test_wrapping_arc(self, quarters):
+        assert sorted(quarters.covering(Arc(0.9, 0.1))) == [0, 3]
+
+    def test_full_ring_covers_all(self, quarters):
+        assert sorted(quarters.covering(Arc(0.0, 0.0))) == [0, 1, 2, 3]
+
+    def test_single_server(self):
+        sm = SegmentMap([0.5])
+        assert sm.covering(Arc(0.1, 0.2)) == [0]
+
+    def test_covering_points(self, quarters):
+        assert quarters.covering_points(Arc(0.2, 0.3)) == [0.0, 0.25]
+
+    def test_covering_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        sm = SegmentMap(rng.random(50))
+        for _ in range(50):
+            a, b = float(rng.random()), float(rng.random())
+            arc = Arc(a, b)
+            got = set(sm.covering(arc))
+            # brute force: sample the arc densely and collect covers
+            expect = set()
+            for i in range(len(sm)):
+                if sm.segment(i).intersection_length(arc) > 0:
+                    expect.add(i)
+                elif any(pa in arc for pa, _ in sm.segment(i).pieces()):
+                    expect.add(i)
+            assert got == expect
+
+
+class TestSmoothness:
+    def test_equal_spacing_is_perfectly_smooth(self):
+        sm = SegmentMap([i / 8 for i in range(8)])
+        assert sm.smoothness() == pytest.approx(1.0)
+
+    def test_definition_ratio(self):
+        sm = SegmentMap([0.0, 0.1, 0.5])  # lengths 0.1, 0.4, 0.5
+        assert sm.smoothness() == pytest.approx(5.0)
+
+    def test_is_smooth_predicate(self):
+        sm = SegmentMap([0.0, 0.1, 0.5])
+        assert sm.is_smooth(5.0)
+        assert not sm.is_smooth(4.9)
+
+    def test_random_points_rho_grows(self):
+        """Lemma 4.1: uniform ids give max ~ log n / n, min ~ 1/n²: ρ ≫ 1."""
+        rng = np.random.default_rng(11)
+        sm = SegmentMap(rng.random(1000))
+        assert sm.smoothness() > 10.0
+
+    def test_exact_fraction_mode(self):
+        sm = SegmentMap([Fraction(0), Fraction(1, 4), Fraction(1, 2)])
+        assert sm.segment(0).length == Fraction(1, 4)
+        assert sm.segment(2).length == Fraction(1, 2)
+        assert sm.smoothness() == pytest.approx(2.0)

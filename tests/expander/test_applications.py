@@ -1,0 +1,107 @@
+"""Unit tests for the §5.2 expander applications."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.expander import (
+    GabberGalilNetwork,
+    ProbabilisticQuorum,
+    balance_load_by_walks,
+    mixing_time_estimate,
+    random_walk,
+    walk_endpoint_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def gg_graph():
+    rng = np.random.default_rng(1)
+    return GabberGalilNetwork(n=96, rng=rng, samples_per_cell=12).to_networkx()
+
+
+class TestRandomWalks:
+    def test_walk_stays_on_graph(self, gg_graph):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            end = random_walk(gg_graph, 0, 10, rng)
+            assert end in gg_graph
+
+    def test_zero_steps_is_identity(self, gg_graph):
+        rng = np.random.default_rng(3)
+        assert random_walk(gg_graph, 5, 0, rng) == 5
+
+    def test_endpoint_distribution_spreads(self, gg_graph):
+        rng = np.random.default_rng(4)
+        dist = walk_endpoint_distribution(gg_graph, 0, 12, rng, samples=400)
+        # after O(log n) steps the walk covers a large fraction of nodes
+        assert len(dist) >= gg_graph.number_of_nodes() // 3
+
+    def test_expander_mixes_fast(self, gg_graph):
+        rng = np.random.default_rng(5)
+        t_exp = mixing_time_estimate(gg_graph, rng, samples=300)
+        n = gg_graph.number_of_nodes()
+        assert t_exp <= 8 * math.log2(n)
+
+    def test_cycle_mixes_slowly(self):
+        """Contrast: the n-cycle needs ≫ log n steps."""
+        rng = np.random.default_rng(6)
+        cycle = nx.cycle_graph(96)
+        t_cycle = mixing_time_estimate(cycle, rng, samples=300, max_steps=256)
+        t_exp = mixing_time_estimate(
+            nx.random_regular_graph(4, 96, seed=0), rng, samples=300
+        )
+        assert t_cycle > 4 * t_exp
+
+
+class TestProbabilisticQuorum:
+    def test_quorums_intersect_whp(self, gg_graph):
+        rng = np.random.default_rng(7)
+        pq = ProbabilisticQuorum(gg_graph, rng)
+        assert pq.intersection_rate(trials=60) >= 0.9
+
+    def test_quorum_size_default_sqrt(self, gg_graph):
+        pq = ProbabilisticQuorum(gg_graph, np.random.default_rng(8))
+        n = gg_graph.number_of_nodes()
+        assert pq.quorum_size == math.ceil(math.sqrt(4 * n))
+
+    def test_quorum_is_set_of_nodes(self, gg_graph):
+        pq = ProbabilisticQuorum(gg_graph, np.random.default_rng(9))
+        q = pq.sample(0)
+        assert q <= set(gg_graph.nodes())
+        assert len(q) >= 2
+
+    def test_tiny_quorums_fail(self, gg_graph):
+        """Below the birthday threshold, intersection becomes unreliable —
+        the √n sizing matters."""
+        rng = np.random.default_rng(10)
+        small = ProbabilisticQuorum(gg_graph, rng, quorum_size=2)
+        big = ProbabilisticQuorum(gg_graph, np.random.default_rng(10))
+        assert small.intersection_rate(trials=60) < big.intersection_rate(trials=60)
+
+
+class TestLoadBalancing:
+    def test_jobs_all_placed(self, gg_graph):
+        rng = np.random.default_rng(11)
+        loads = balance_load_by_walks(gg_graph, 300, rng)
+        assert sum(loads.values()) == 300
+
+    def test_max_load_near_balls_in_bins(self, gg_graph):
+        rng = np.random.default_rng(12)
+        n = gg_graph.number_of_nodes()
+        jobs = 4 * n
+        loads = balance_load_by_walks(gg_graph, jobs, rng)
+        mean = jobs / n
+        # balls-into-bins: max ≈ mean + O(sqrt(mean log n));
+        # allow a generous constant for the non-uniform stationary law
+        assert max(loads.values()) <= mean + 6 * math.sqrt(mean * math.log(n))
+
+    def test_beats_fixed_placement(self, gg_graph):
+        """Walks spread load even when all jobs originate at one node."""
+        rng = np.random.default_rng(13)
+        nodes = list(gg_graph.nodes())
+        loads = balance_load_by_walks(gg_graph, 200, rng, walk_length=14)
+        # placing at the origin would give max = 200; walks stay near fair
+        assert max(loads.values()) < 40

@@ -1,0 +1,76 @@
+"""Unit tests for the dynamic path quorum system (paper §5.1's pointer)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.balance import TwoDimMultipleChoice
+from repro.expander import PathQuorumSystem, TorusVoronoi
+
+
+@pytest.fixture(scope="module")
+def system():
+    rng = np.random.default_rng(0)
+    algo = TwoDimMultipleChoice(128, t=4)
+    algo.populate(rng=rng)
+    return PathQuorumSystem(TorusVoronoi(algo.points))
+
+
+class TestCrossings:
+    def test_member_in_own_quorums(self, system):
+        for m in (0, 17, 99):
+            assert m in system.read_quorum(m)
+            assert m in system.write_quorum(m)
+
+    def test_quorum_size_sqrt_n(self, system):
+        sizes = [len(system.read_quorum(m)) for m in range(0, 128, 8)]
+        n = system.voronoi.n
+        assert max(sizes) <= system.quorum_size_bound()
+        assert min(sizes) >= math.sqrt(n) / 4  # crossings really span the square
+
+    def test_crossing_cells_are_adjacent_chain(self, system):
+        """Consecutive crossing cells share a Delaunay edge (the quorum can
+        be traversed along overlay links)."""
+        path = system._crossing(tuple(system.voronoi.points[5]), "horizontal")
+        for a, b in zip(path, path[1:]):
+            assert b in system.voronoi.delaunay_neighbors(a) or a == b
+
+
+class TestIntersection:
+    def test_read_write_always_intersect(self, system):
+        rng = np.random.default_rng(1)
+        assert system.verify_intersection(120, rng) == 1.0
+
+    def test_intersection_survives_membership_change(self):
+        """Geometry gives consistency through churn: new tessellation, same
+        guarantee, no reconfiguration protocol."""
+        rng = np.random.default_rng(2)
+        algo = TwoDimMultipleChoice(96, t=4)
+        algo.populate(rng=rng)
+        tv = TorusVoronoi(algo.points)
+        pq = PathQuorumSystem(tv)
+        assert pq.verify_intersection(40, rng) == 1.0
+        tv.insert((float(rng.random()), float(rng.random())))
+        pq2 = PathQuorumSystem(tv)
+        assert pq2.verify_intersection(40, rng) == 1.0
+
+    def test_reads_need_not_intersect_reads(self, system):
+        """Two horizontal crossings at different heights can be disjoint —
+        the asymmetry that keeps quorums small."""
+        rng = np.random.default_rng(3)
+        disjoint = 0
+        for _ in range(60):
+            a = system.read_quorum(int(rng.integers(128)))
+            b = system.read_quorum(int(rng.integers(128)))
+            disjoint += not (a & b)
+        assert disjoint > 0
+
+
+class TestLoad:
+    def test_load_near_sqrt_optimum(self, system):
+        rng = np.random.default_rng(4)
+        load = system.load(200, rng)
+        n = system.voronoi.n
+        # optimal quorum load is 1/√n; allow the smoothness constant
+        assert load <= 8.0 / math.sqrt(n)

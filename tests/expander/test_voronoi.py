@@ -1,0 +1,112 @@
+"""Unit tests for the torus Voronoi substrate (paper §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.expander import TorusVoronoi
+
+
+def grid_points(side):
+    return [((i + 0.5) / side, (j + 0.5) / side) for i in range(side) for j in range(side)]
+
+
+class TestConstruction:
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            TorusVoronoi([(0.5, 0.5)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            TorusVoronoi([(0.5, 0.5), (0.5, 0.5), (0.1, 0.1)])
+
+    def test_normalizes_coordinates(self):
+        tv = TorusVoronoi([(1.25, -0.75), (0.5, 0.5)])
+        assert tv.points[0] == pytest.approx([0.25, 0.25])
+
+
+class TestOwner:
+    def test_generator_owns_itself(self):
+        tv = TorusVoronoi(grid_points(4))
+        for i, p in enumerate(tv.points):
+            assert tv.owner(tuple(p)) == i
+
+    def test_toroidal_metric(self):
+        """A point near the seam belongs to the generator across it."""
+        tv = TorusVoronoi([(0.02, 0.5), (0.5, 0.5)])
+        assert tv.owner((0.98, 0.5)) == 0  # wraps to the generator at 0.02
+
+    def test_owner_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        tv = TorusVoronoi([tuple(p) for p in rng.random((20, 2))])
+        probes = rng.random((50, 2))
+        vec = tv.owner_many(probes)
+        assert all(vec[i] == tv.owner(tuple(probes[i])) for i in range(50))
+
+
+class TestAreas:
+    def test_grid_cells_equal_area(self):
+        side = 4
+        tv = TorusVoronoi(grid_points(side))
+        areas = tv.cell_areas()
+        assert areas == pytest.approx(np.full(side * side, 1 / side**2), rel=1e-6)
+
+    def test_areas_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        tv = TorusVoronoi([tuple(p) for p in rng.random((40, 2))])
+        assert tv.cell_areas().sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_smooth_set_areas_theta_one_over_n(self):
+        """§5.1: smooth sets give cells of area Θ(1/n) (used by Cor 5.2)."""
+        from repro.balance import TwoDimMultipleChoice
+
+        rng = np.random.default_rng(2)
+        algo = TwoDimMultipleChoice(128, t=4)
+        algo.populate(rng=rng)
+        tv = TorusVoronoi(algo.points)
+        areas = tv.cell_areas()
+        n = 128
+        assert areas.max() <= 8.0 / n
+        assert areas.min() >= 1.0 / (12 * n)
+
+
+class TestDelaunay:
+    def test_grid_neighbors_are_grid_adjacent(self):
+        side = 4
+        tv = TorusVoronoi(grid_points(side))
+        nbs = tv.delaunay_neighbors(0)
+        # cell (0,0) must be adjacent to (0,1),(1,0),(0,3),(3,0) at least
+        expected = {1, side, 3, 3 * side}
+        assert expected <= set(nbs)
+
+    def test_average_degree_below_euler_bound(self):
+        rng = np.random.default_rng(3)
+        tv = TorusVoronoi([tuple(p) for p in rng.random((60, 2))])
+        # Euler: average Delaunay degree < 6 (on the torus, exactly 6 - o(1))
+        assert tv.average_delaunay_degree() <= 6.5
+
+    def test_neighbors_symmetric(self):
+        rng = np.random.default_rng(4)
+        tv = TorusVoronoi([tuple(p) for p in rng.random((30, 2))])
+        for i in range(tv.n):
+            for j in tv.delaunay_neighbors(i):
+                assert i in tv.delaunay_neighbors(j)
+
+
+class TestDynamics:
+    def test_insert_affects_local_cells_only(self):
+        """§5.1 locality: a join touches only cells adjacent to it."""
+        side = 6
+        tv = TorusVoronoi(grid_points(side))
+        areas_before = tv.cell_areas().copy()
+        affected = tv.insert((0.51 / side, 0.51 / side))
+        areas_after = tv.cell_areas()[: side * side]
+        changed = {i for i in range(side * side)
+                   if abs(areas_after[i] - areas_before[i]) > 1e-12}
+        assert changed <= affected | {tv.n - 1}
+
+    def test_remove_returns_absorbers(self):
+        tv = TorusVoronoi(grid_points(4))
+        n0 = tv.n
+        affected = tv.remove(5)
+        assert tv.n == n0 - 1
+        assert len(affected) >= 3

@@ -1,0 +1,97 @@
+"""Tests for the experiment harness (registry, rendering, quick runs)."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, format_rows, get_experiment
+from repro.experiments.runner import EXPERIMENT_IDS, run_experiments
+
+
+class TestRegistry:
+    def test_all_design_md_ids_registered(self):
+        expected = {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E10",
+                    "E11", "E12", "E13", "E14", "E15",
+                    "F1", "F2", "F3", "F4", "A1", "A2", "A3", "A4"}
+        assert expected <= set(EXPERIMENT_IDS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("E999")
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e2") is get_experiment("E2")
+
+
+class TestResultRendering:
+    def test_format_rows_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_rows(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, sep, 2 rows
+
+    def test_format_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_json_roundtrip(self):
+        res = ExperimentResult("EX", "t", "claim", rows=[{"x": 1.5}],
+                               checks={"ok": True})
+        data = json.loads(res.to_json())
+        assert data["experiment"] == "EX"
+        assert data["passed"] is True
+
+    def test_passed_logic(self):
+        good = ExperimentResult("E", "t", "c", checks={"a": True})
+        bad = ExperimentResult("E", "t", "c", checks={"a": True, "b": False})
+        empty = ExperimentResult("E", "t", "c")
+        assert good.passed and not bad.passed and empty.passed
+
+    def test_render_contains_verdicts(self):
+        res = ExperimentResult("EX", "title", "claim",
+                               checks={"thing": True, "other": False})
+        text = res.render()
+        assert "[PASS] thing" in text
+        assert "[FAIL] other" in text
+
+
+class TestQuickRuns:
+    """Cheap experiments executed end-to-end in quick mode."""
+
+    @pytest.mark.parametrize("name", ["F1", "F2", "F3", "F4"])
+    def test_figures_pass(self, name):
+        res = get_experiment(name)(quick=True)
+        assert res.passed, res.render()
+
+    def test_structure_passes(self):
+        res = get_experiment("E2")(quick=True)
+        assert res.passed, res.render()
+
+    def test_pathlen_passes(self):
+        res = get_experiment("E3")(quick=True)
+        assert res.passed, res.render()
+
+    def test_emulation_passes(self):
+        res = get_experiment("E15")(quick=True)
+        assert res.passed, res.render()
+
+    def test_runner_writes_json(self, tmp_path):
+        results = run_experiments(["F1"], quick=True, out_dir=str(tmp_path),
+                                  echo=False)
+        assert (tmp_path / "F1.json").exists()
+        assert results[0].passed
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "F4" in out
+
+    def test_run_single(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "F2", "--quick"]) == 0
+        assert "PASS" in capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""Unit tests for the weak hash families used in ablations (paper §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.universal import AdversarialConstantHash, OneWiseHash, PairwiseHash
+
+
+class TestPairwise:
+    def test_is_affine(self):
+        h = PairwiseHash(np.random.default_rng(0))
+        assert h.k == 2
+
+    def test_range(self):
+        h = PairwiseHash(np.random.default_rng(1))
+        assert all(0 <= h(i) < 1 for i in range(100))
+
+
+class TestOneWise:
+    def test_uniform_marginal_over_family(self):
+        """For a fixed key, h(key) is uniform over the random shift."""
+        vals = [OneWiseHash(np.random.default_rng(s))(42) for s in range(300)]
+        vals = np.sort(vals)
+        dev = np.abs(vals - np.arange(300) / 300).max()
+        assert dev < 0.1
+
+    def test_joint_maximally_correlated(self):
+        """The gap between keys is constant — the adversarial property."""
+        h = OneWiseHash(np.random.default_rng(2))
+        d1 = (h.hash_int(10) - h.hash_int(5)) % h.prime
+        d2 = (h.hash_int(105) - h.hash_int(100)) % h.prime
+        assert d1 == d2
+
+
+class TestAdversarialConstant:
+    def test_everything_maps_to_point(self):
+        h = AdversarialConstantHash(0.37)
+        assert h("a") == h("b") == 0.37
+
+    def test_normalizes(self):
+        assert AdversarialConstantHash(1.25).point == pytest.approx(0.25)

@@ -1,0 +1,67 @@
+"""Tests for the asyncio runtime: asynchrony must not change routing.
+
+Paper footnote 4: the analysis carries no synchrony assumption; here we
+check the asyncio-routed paths coincide with the deterministic reference
+when the random digit strings are pinned.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DistanceHalvingNetwork, dh_lookup
+from repro.sim.asyncnet import run_async_lookups
+
+
+@pytest.fixture(scope="module")
+def net():
+    rng = np.random.default_rng(99)
+    n = DistanceHalvingNetwork(rng=rng)
+    n.populate(64)
+    return n
+
+
+class TestAsyncLookups:
+    def test_paths_end_at_owner(self, net):
+        rng = np.random.default_rng(1)
+        pts = list(net.points())
+        queries = [(pts[int(rng.integers(64))], float(rng.random())) for _ in range(20)]
+        paths = run_async_lookups(net, queries, rng)
+        for (src, tgt), path in zip(queries, paths):
+            assert path[-1] == net.segments.cover_point(tgt)
+
+    def test_matches_deterministic_reference(self, net):
+        """Same τ ⇒ same server path as repro.core.lookup.dh_lookup."""
+        rng = np.random.default_rng(2)
+        pts = list(net.points())
+        queries = []
+        taus = []
+        expected = []
+        for _ in range(15):
+            src = pts[int(rng.integers(64))]
+            tgt = float(rng.random())
+            tau = [int(d) for d in rng.integers(0, 2, size=64)]
+            res = dh_lookup(net, src, tgt, rng, tau=tau)
+            queries.append((src, tgt))
+            taus.append(tau)
+            expected.append(res.server_path)
+        paths = run_async_lookups(net, queries, np.random.default_rng(3), taus=taus)
+        assert paths == expected
+
+    def test_concurrent_lookups_all_complete(self, net):
+        rng = np.random.default_rng(4)
+        pts = list(net.points())
+        queries = [(pts[int(rng.integers(64))], float(rng.random())) for _ in range(100)]
+        paths = run_async_lookups(net, queries, rng)
+        assert len(paths) == 100
+        assert all(len(p) >= 1 for p in paths)
+
+    def test_local_knowledge_only(self, net):
+        """Async servers never consult the global map during routing."""
+        from repro.sim.asyncnet import AsyncServer
+
+        srv = AsyncServer(list(net.points())[0], net)
+        # the server's world is its segment plus its neighbours' segments
+        assert srv._local_cover(float(srv.segment.midpoint)) == srv.point
+        far = (srv.point + 0.431) % 1.0
+        if all(far not in s for s in srv._seg_of.values()) and far not in srv.segment:
+            assert srv._local_cover(far) is None

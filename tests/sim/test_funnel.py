@@ -1,0 +1,49 @@
+"""Tests for the funnel (adversarial) workload generator."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import CongestionCounter, DistanceHalvingNetwork, fast_lookup
+from repro.sim.workload import funnel_workload
+
+
+class TestFunnelWorkload:
+    def test_targets_valid(self):
+        rng = np.random.default_rng(0)
+        net = DistanceHalvingNetwork(rng=rng)
+        net.populate(64)
+        pairs = funnel_workload(net, c=0.37, depth=3)
+        assert len(pairs) == 64
+        assert all(0 <= t < 1 for _, t in pairs)
+        assert [s for s, _ in pairs] == list(net.points())
+
+    def test_concentrates_deterministic_routing_on_grid(self):
+        """On the exact De Bruijn ids the funnel pushes a constant fraction
+        of all fast-lookup paths through one server."""
+        n = 256
+        net = DistanceHalvingNetwork()
+        for i in range(n):
+            net.join(Fraction(i, n))
+        pairs = funnel_workload(net, c=0.371, depth=4)
+        counter = CongestionCounter()
+        for s, t in pairs:
+            counter.record(fast_lookup(net, float(s), t))
+        # hotspot server absorbs far more than the O(log n) fair share
+        assert counter.max_load() >= 4 * math.log2(n)
+
+    def test_verified_alignment_mostly_succeeds(self):
+        """Most sources find a self-consistent target through c."""
+        n = 128
+        net = DistanceHalvingNetwork()
+        for i in range(n):
+            net.join(Fraction(i, n))
+        c = 0.371
+        pairs = funnel_workload(net, c=c, depth=4)
+        aligned = 0
+        for s, t in pairs:
+            res = fast_lookup(net, float(s), t)
+            aligned += any(abs(q - c) < 1e-9 for q in res.continuous_path)
+        assert aligned >= n // 3

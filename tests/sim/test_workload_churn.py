@@ -1,0 +1,141 @@
+"""Tests for workload generators, churn driver, metrics and rng helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DistanceHalvingNetwork
+from repro.sim import (
+    ChurnTrace,
+    bit_reversal_permutation,
+    log_slope,
+    loglog_slope,
+    random_pairs,
+    random_permutation,
+    root_rng,
+    run_churn,
+    shift_permutation,
+    single_hotspot_demands,
+    spawn_many,
+    summarize,
+    uniform_points,
+    zipf_demands,
+)
+
+
+class TestWorkloads:
+    def test_uniform_points_range(self):
+        pts = uniform_points(np.random.default_rng(0), 1000)
+        assert len(pts) == 1000
+        assert ((0 <= pts) & (pts < 1)).all()
+
+    def test_random_pairs_sources_are_servers(self):
+        rng = np.random.default_rng(1)
+        servers = [0.1, 0.4, 0.9]
+        pairs = random_pairs(servers, rng, 50)
+        assert all(s in servers for s, _ in pairs)
+
+    def test_random_permutation_is_permutation(self):
+        rng = np.random.default_rng(2)
+        servers = list(np.random.default_rng(0).random(32))
+        pairs = random_permutation(servers, rng)
+        targets = [t for _, t in pairs]
+        assert sorted(targets) == sorted(servers)
+
+    def test_bit_reversal_structure(self):
+        servers = [(i + 0.01) / 16 for i in range(16)]
+        pairs = bit_reversal_permutation(servers)
+        # server at 0.25 + eps (binary 0100) targets bucket 0010 = 2/16
+        src, tgt = pairs[4]
+        assert abs(tgt - (2 + 0.5) / 16) < 1e-9
+
+    def test_shift_permutation_wraps(self):
+        pairs = shift_permutation([0.9], shift=0.2)
+        assert pairs[0][1] == pytest.approx(0.1)
+
+    def test_zipf_demands_sum(self):
+        q = zipf_demands(100, 1000, np.random.default_rng(3))
+        assert sum(q) == 1000
+        assert q[0] > q[-1]  # head is hot
+
+    def test_single_hotspot(self):
+        q = single_hotspot_demands(10, 500, hot_index=3)
+        assert q[3] == 500 and sum(q) == 500
+
+
+class TestChurn:
+    def test_trace_generation_counts(self):
+        trace = ChurnTrace.generate(np.random.default_rng(4), steps=100, leave_prob=0.0)
+        assert all(op.kind == "join" for op in trace.ops)
+
+    def test_mass_departure_shape(self):
+        trace = ChurnTrace.mass_departure(np.random.default_rng(5), n=100, fraction=0.5)
+        joins = sum(1 for op in trace.ops if op.kind == "join")
+        leaves = sum(1 for op in trace.ops if op.kind == "leave")
+        assert joins == 100 and leaves == 50
+
+    def test_run_churn_reports(self):
+        rng = np.random.default_rng(6)
+        net = DistanceHalvingNetwork(rng=rng)
+        trace = ChurnTrace.generate(rng, steps=120, leave_prob=0.3)
+        report = run_churn(net, trace, rng, sample_every=4)
+        assert report.final_n == net.n
+        assert report.final_n > 0
+        assert len(report.smoothness_series) > 0
+
+    def test_join_leave_touches_constant_servers(self):
+        """§1 'cost of join/leave': only O(degree) servers change state."""
+        rng = np.random.default_rng(7)
+        net = DistanceHalvingNetwork(rng=rng)
+        trace = ChurnTrace.generate(rng, steps=150, leave_prob=0.3, warmup=64)
+        report = run_churn(net, trace, rng, sample_every=2)
+        # the affected set is the neighbourhood of the touched segment:
+        # bounded by the degree bound ρ+4 + ⌈2ρ⌉+1 + ring ≈ O(ρ)
+        assert report.max_touched() <= 40
+        assert report.mean_touched() <= 15
+
+
+class TestMetrics:
+    def test_summarize(self):
+        s = summarize([1, 2, 3, 4, 100])
+        assert s.count == 5
+        assert s.max == 100
+        assert s.p50 == 3
+
+    def test_summarize_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_loglog_slope_recovers_power(self):
+        xs = [2**k for k in range(4, 10)]
+        ys = [x**0.5 * 3 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(0.5, abs=1e-9)
+
+    def test_log_slope_recovers_log_coefficient(self):
+        xs = [2**k for k in range(4, 10)]
+        ys = [2.5 * math.log2(x) + 1 for x in xs]
+        assert log_slope(xs, ys) == pytest.approx(2.5, abs=1e-9)
+
+    def test_slopes_need_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            log_slope([1], [1])
+
+
+class TestRng:
+    def test_root_reproducible(self):
+        a, b = root_rng(7), root_rng(7)
+        assert a.random() == b.random()
+
+    def test_spawn_many_independent(self):
+        gens = spawn_many(3, 4)
+        vals = [g.random() for g in gens]
+        assert len(set(vals)) == 4
+
+    def test_spawn_many_reproducible(self):
+        v1 = [g.random() for g in spawn_many(11, 3)]
+        v2 = [g.random() for g in spawn_many(11, 3)]
+        assert v1 == v2
