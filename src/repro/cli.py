@@ -1,10 +1,11 @@
-"""Command-line entry point: ``repro-experiments``.
+"""Command-line entry point: ``python -m repro.cli``.
 
 Examples::
 
-    repro-experiments list
-    repro-experiments run E1 E3 --quick
-    repro-experiments run all --out results/
+    PYTHONPATH=src python -m repro.cli list
+    PYTHONPATH=src python -m repro.cli run E1 E3 --quick
+    PYTHONPATH=src python -m repro.cli run all --out results/
+    PYTHONPATH=src python -m repro.cli bench-throughput --n 4096
 """
 
 from __future__ import annotations
@@ -13,28 +14,126 @@ import argparse
 import sys
 from typing import List, Optional
 
+EPILOG = """\
+subcommands:
+  list              print every registered experiment id (E*, F*, A*, X*)
+  run IDS|all       run experiments; --quick shrinks sizes, --out DIR
+                    writes one JSON result file per experiment
+  bench-throughput  measure the vectorized batch-lookup engine against
+                    the scalar per-hop loop on one network, with a
+                    bit-parity cross-check (see docs/BENCHMARKS.md)
+
+invocation: PYTHONPATH=src python -m repro.cli <subcommand> [options]
+"""
+
+
+def _bench_throughput(args) -> int:
+    from .experiments.throughput import format_throughput_report, measure_throughput
+
+    if args.n < 1 or args.lookups < 1 or args.scalar_sample < 1:
+        print(
+            "bench-throughput: --n, --lookups and --scalar-sample must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.delta < 2:
+        print("bench-throughput: --delta must be >= 2", file=sys.stderr)
+        return 2
+
+    result = measure_throughput(
+        n=args.n,
+        lookups=args.lookups,
+        seed=args.seed,
+        scalar_sample=args.scalar_sample,
+        algorithm=args.algorithm,
+        delta=args.delta,
+    )
+    print(format_throughput_report(result))
+    ok = result["parity_ok"] and result["speedup"] >= args.min_speedup
+    verdict = "PASS" if ok else "FAIL"
+    print(f"[{verdict}] parity and speedup ≥ {args.min_speedup:g}x")
+    return 0 if ok else 1
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog="repro",
         description="Reproduce the experiments of Naor & Wieder (SPAA 2003).",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids")
+
     runp = sub.add_parser("run", help="run experiments")
     runp.add_argument("names", nargs="+", help="experiment ids or 'all'")
     runp.add_argument("--quick", action="store_true", help="smaller sizes")
     runp.add_argument("--seed", type=int, default=0)
     runp.add_argument("--out", default=None, help="directory for JSON results")
+
+    benchp = sub.add_parser(
+        "bench-throughput",
+        help="vectorized vs scalar lookup throughput (with parity check)",
+    )
+    benchp.add_argument("--n", type=int, default=4096, help="network size")
+    benchp.add_argument(
+        "--lookups", type=int, default=100_000, help="batch workload size"
+    )
+    benchp.add_argument(
+        "--scalar-sample",
+        type=int,
+        default=1000,
+        help="lookups routed through the scalar baseline (also parity-checked)",
+    )
+    benchp.add_argument(
+        "--algorithm",
+        choices=("fast", "dh"),
+        default="fast",
+        help="fast (greedy, §2.2.1) or dh (two-phase, §2.2.2)",
+    )
+    benchp.add_argument("--delta", type=int, default=2, help="graph degree Δ")
+    benchp.add_argument("--seed", type=int, default=0)
+    benchp.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="exit non-zero when the batch engine is slower than this factor",
+    )
+
     args = parser.parse_args(argv)
 
-    from .experiments.runner import EXPERIMENT_IDS, run_experiments
+    from .experiments.common import all_experiments
+    from .experiments.runner import run_experiments  # noqa: F401 (fills registry)
 
+    available = list(all_experiments())
     if args.command == "list":
-        for name in EXPERIMENT_IDS:
+        for name in available:
             print(name)
         return 0
-    results = run_experiments(args.names, seed=args.seed, quick=args.quick,
+    if args.command == "bench-throughput":
+        return _bench_throughput(args)
+
+    names = args.names
+    lowered = [n.lower() for n in names]
+    if "all" in lowered and len(names) > 1:
+        print(
+            "run: 'all' cannot be combined with explicit experiment ids",
+            file=sys.stderr,
+        )
+        return 2
+    if lowered != ["all"]:
+        unknown = [n for n in names if n.upper() not in available]
+        if unknown:
+            print(
+                f"unknown experiment id(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            print(
+                f"available: {', '.join(available)}",
+                file=sys.stderr,
+            )
+            return 2
+    results = run_experiments(names, seed=args.seed, quick=args.quick,
                               out_dir=args.out)
     return 0 if all(r.passed for r in results) else 1
 

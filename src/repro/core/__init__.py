@@ -4,6 +4,7 @@ The Distance Halving DHT — continuous graph, dynamic discretization,
 lookup algorithms, and the coupled dynamic-caching protocol.
 """
 
+from .batch import BatchLookupResult, BatchRouter
 from .caching import ActiveTree, CachedLookup, CacheSystem
 from .continuous import ContinuousGraph, binary_digits, digits_to_point
 from .debruijn import (
@@ -11,6 +12,7 @@ from .debruijn import (
     debruijn_diameter,
     debruijn_graph,
     distance_halving_is_debruijn,
+    equally_spaced_network,
 )
 from .interval import (
     Arc,
@@ -21,7 +23,14 @@ from .interval import (
     normalize,
     ring_distance,
 )
-from .lookup import MAX_WALK_STEPS, LookupResult, dh_lookup, fast_lookup
+from .lookup import (
+    MAX_WALK_STEPS,
+    LookupResult,
+    compress_path,
+    dh_lookup,
+    fast_lookup,
+    lookup_many,
+)
 from .network import DistanceHalvingNetwork
 from .node import Server
 from .pathtree import PathTree
@@ -31,6 +40,8 @@ from .segments import SegmentMap
 __all__ = [
     "ActiveTree",
     "Arc",
+    "BatchLookupResult",
+    "BatchRouter",
     "CacheSystem",
     "CachedLookup",
     "CongestionCounter",
@@ -44,14 +55,17 @@ __all__ = [
     "arcs_cover_ring",
     "binary_digits",
     "bit_reversal",
+    "compress_path",
     "debruijn_diameter",
     "debruijn_graph",
     "dh_lookup",
     "digits_to_point",
     "distance_halving_is_debruijn",
+    "equally_spaced_network",
     "fast_lookup",
     "full_arc",
     "linear_distance",
+    "lookup_many",
     "midpoint_between",
     "normalize",
     "path_lengths",

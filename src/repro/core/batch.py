@@ -1,0 +1,437 @@
+"""Vectorized batch-lookup engine for the Distance Halving DHT.
+
+The scalar algorithms in :mod:`repro.core.lookup` route one message at a
+time through Python objects — perfect for validating the paper's theorems,
+far too slow for the "heavy traffic" workloads the roadmap targets.  This
+module routes *arrays* of lookups through the same continuous-discrete
+scheme:
+
+* the segment decomposition is frozen into sorted NumPy arrays (id
+  points, segment bounds, midpoints, a CSR neighbour table), so a cover
+  query for a whole batch is one ``np.searchsorted``;
+* the walk functions of §2.2 are evaluated in closed form per *routing
+  level* instead of per hop per lookup — level ``t`` of the fast lookup
+  is ``w(σ(z)_t, y) = (y + ⌊z·Δ^t⌋) / Δ^t`` for every pending lookup at
+  once, and the backward descent reuses ``⌊z·Δ^t⌋ mod Δ^j``;
+* the two-phase Distance Halving lookup advances every in-flight message
+  one level per iteration (`pos/Δ + d/Δ` elementwise) and resolves the
+  "target image covered by me or a neighbour" test with a binary search
+  over a sorted edge-key table.
+
+Every float operation mirrors the scalar implementation ULP-for-ULP (same
+order of IEEE-754 operations), so batch results are *bit-identical* to
+:func:`repro.core.lookup.fast_lookup` — owners, walk parameters ``t``,
+hop counts, and (with ``keep_paths=True``) full server paths — and to
+:func:`repro.core.lookup.dh_lookup` when both are driven by the same
+digit strings ``tau``.  That parity is what the property tests and the
+built-in scalar-subsample cross-check of ``repro.cli bench-throughput``
+assert.
+
+The router is a *snapshot*: it does not observe joins or leaves made
+after construction.  Rebuild it (``net.compile_router()``) after churn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .lookup import MAX_WALK_STEPS, compress_path
+from .segments import cover_indices, fold_unit, normalize_array
+
+__all__ = ["BatchRouter", "BatchLookupResult"]
+
+def _normalize_array(values, size: Optional[int] = None) -> np.ndarray:
+    """:func:`~repro.core.segments.normalize_array` with scalar broadcast.
+
+    Scalars broadcast to ``size`` when given; arrays are flattened.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = np.full(size if size is not None else 1, float(arr))
+    return normalize_array(arr.ravel())
+
+
+@dataclass
+class BatchLookupResult:
+    """Array-of-structs outcome of a routed batch of lookups.
+
+    Mirrors :class:`repro.core.lookup.LookupResult` field-for-field, but
+    every per-lookup quantity is a NumPy array of length ``size``.
+    ``owner_idx``/``source_idx`` index into ``points`` (the router's
+    sorted id vector).  When the batch was routed with
+    ``keep_paths=True``, :meth:`server_path` reconstructs the exact
+    compressed server path of any single lookup for cross-checking
+    against the scalar engine.
+    """
+
+    algorithm: str
+    points: np.ndarray
+    targets: np.ndarray
+    sources: np.ndarray
+    source_idx: np.ndarray
+    owner_idx: np.ndarray
+    t: np.ndarray
+    hops: np.ndarray
+    phase1_hops: Optional[np.ndarray] = None
+    # internal path matrices (levels × size); -1 marks "no server recorded"
+    _phase1_levels: Optional[np.ndarray] = field(default=None, repr=False)
+    _phase2_levels: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def size(self) -> int:
+        return int(self.targets.size)
+
+    @property
+    def owner(self) -> np.ndarray:
+        """Id points of the servers owning each target."""
+        return self.points[self.owner_idx]
+
+    @property
+    def keeps_paths(self) -> bool:
+        return self._phase2_levels is not None
+
+    def server_path(self, i: int) -> List[float]:
+        """Compressed server path of lookup ``i`` (requires ``keep_paths``).
+
+        Identical to ``LookupResult.server_path`` of the scalar engine
+        for the same (source, target) — the parity tests compare them
+        element-wise.
+        """
+        if not self.keeps_paths:
+            raise ValueError("batch was routed with keep_paths=False")
+        seq: List[int] = []
+        if self._phase1_levels is not None:
+            for row in self._phase1_levels:
+                v = int(row[i])
+                if v >= 0:
+                    seq.append(v)
+        ti = int(self.t[i])
+        back = self._phase2_levels
+        for j in range(ti, -1, -1):
+            v = int(back[j, i])
+            if v >= 0:
+                seq.append(v)
+        return compress_path([float(self.points[k]) for k in seq])
+
+    def mean_hops(self) -> float:
+        return float(self.hops.mean()) if self.size else 0.0
+
+
+class BatchRouter:
+    """Frozen NumPy snapshot of a network that routes lookups in bulk.
+
+    Parameters
+    ----------
+    net:
+        The :class:`~repro.core.network.DistanceHalvingNetwork` to
+        snapshot.  Coordinates are cast to ``float64``; networks built on
+        exact :class:`~fractions.Fraction` ids keep bit-parity with the
+        scalar engine as long as the ids are dyadic (e.g. the equally
+        spaced De Bruijn instance).
+    build_adjacency:
+        Precompute the neighbour table needed by
+        :meth:`batch_dh_lookup`.  Costs one pass over all segment images
+        (O(n·Δ) cover queries); skipped by default because
+        :meth:`batch_fast_lookup` never consults adjacency.
+    """
+
+    def __init__(self, net, build_adjacency: bool = False) -> None:
+        if net.n == 0:
+            raise LookupError("cannot compile a router over an empty network")
+        self.delta = int(net.delta)
+        self.with_ring = bool(net.with_ring)
+        self.n = int(net.n)
+        self.points = net.segments.as_array()
+        starts, ends = net.segments.bounds_arrays()
+        self.seg_start = starts
+        self.seg_end = ends
+        self.midpoints = net.segments.midpoints_array()
+        self._edge_keys: Optional[np.ndarray] = None
+        self._net = net
+        if build_adjacency:
+            self._build_adjacency()
+
+    # ------------------------------------------------------------- snapshot
+    def _build_adjacency(self) -> None:
+        """Sorted ``i·n + j`` keys of every directed neighbour pair."""
+        if self._net.n != self.n or not np.array_equal(
+            self._net.segments.as_array(), self.points
+        ):
+            raise RuntimeError(
+                "network changed since compile_router(); the router is a "
+                "frozen snapshot — rebuild it (net.compile_router()) after "
+                "joins or leaves"
+            )
+        indptr, indices = self._net.adjacency_arrays()
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(indptr))
+        self._edge_keys = np.sort(rows * self.n + indices.astype(np.int64))
+
+    def _edge_member(self, row: np.ndarray, col: np.ndarray) -> np.ndarray:
+        """Vectorized ``col[i] in neighbours(row[i])`` membership test."""
+        if self._edge_keys is None:
+            self._build_adjacency()
+        keys = self._edge_keys
+        if len(keys) == 0:
+            return np.zeros(row.shape, dtype=bool)
+        q = row.astype(np.int64) * self.n + col.astype(np.int64)
+        pos = np.searchsorted(keys, q)
+        pos_c = np.minimum(pos, len(keys) - 1)
+        return (pos < len(keys)) & (keys[pos_c] == q)
+
+    # ---------------------------------------------------------------- cover
+    def cover(self, ys: np.ndarray) -> np.ndarray:
+        """Indices of the segments covering each point (one searchsorted).
+
+        ``ys`` must already lie in ``[0, 1)`` (the engine normalizes at
+        entry and folds after every walk step).  Under that precondition
+        it matches ``SegmentMap.cover`` exactly: greatest ``x_i <= y``,
+        wrapping below ``x_0`` to the last server.  For raw ring points
+        use :meth:`SegmentMap.cover_array`, which normalizes first.
+        """
+        return cover_indices(self.points, ys)
+
+    def cover_points(self, ys: np.ndarray) -> np.ndarray:
+        return self.points[self.cover(ys)]
+
+    def _in_segment(self, p: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Vector version of ``p in segment(idx)`` (wrap-aware half-open)."""
+        if self.n == 1:
+            return np.ones(p.shape, dtype=bool)
+        start = self.seg_start[idx]
+        end = self.seg_end[idx]
+        inseg = (p >= start) & (p < end)
+        # only the seam-crossing last segment has start > end; for those
+        # lanes the half-open test is a disjunction instead
+        wraps = start > end
+        if wraps.any():
+            inseg[wraps] = (p[wraps] >= start[wraps]) | (p[wraps] < end[wraps])
+        return inseg
+
+    # ---------------------------------------------------------- fast lookup
+    def batch_fast_lookup(
+        self,
+        sources,
+        targets,
+        keep_paths: bool = False,
+        max_levels: int = MAX_WALK_STEPS,
+    ) -> BatchLookupResult:
+        """Vectorized Fast (greedy) Lookup (§2.2.1) for a batch of pairs.
+
+        ``sources`` and ``targets`` are arrays of points in ``[0, 1)``
+        (scalars broadcast), in the same order as the scalar
+        ``fast_lookup(net, source_point, target)``.  One routing level
+        costs one closed-form walk evaluation plus one ``searchsorted``
+        over the whole batch; per Corollary 2.5 at most
+        ``log_Δ n + log_Δ ρ + 1`` levels run.
+
+        For power-of-two ``Δ`` the ``Δ^t`` scaling is exact in float64 at
+        every level, so the level budget is the scalar engine's
+        ``MAX_WALK_STEPS`` and parity holds on arbitrarily unsmooth
+        decompositions.  For other ``Δ`` levels beyond ``≈ 52/log2(Δ)``
+        would overflow the float64 mantissa of ``⌊z·Δ^t⌋``; such levels
+        only occur when some segment is shorter than ``Δ^-52`` and raise
+        ``RuntimeError`` rather than silently diverging from the
+        (integer-exact) scalar engine.
+        """
+        y = _normalize_array(targets)
+        src = _normalize_array(sources, size=y.size)
+        if src.size != y.size:
+            raise ValueError("sources and targets must have the same length")
+        size = y.size
+        ci = self.cover(src)
+        z = self.midpoints[ci]
+
+        t = np.zeros(size, dtype=np.int64)
+        s_final = np.zeros(size, dtype=np.float64)  # ⌊z·Δ^t⌋ at the chosen t
+        pending = np.ones(size, dtype=bool)
+        if self.delta & (self.delta - 1) == 0:
+            level_cap = max_levels
+        else:
+            level_cap = min(max_levels, int(52 / math.log2(self.delta)))
+        for level in range(level_cap + 1):
+            if level == 0:
+                p = y
+                s_level = None
+            else:
+                scale = float(self.delta) ** level
+                s_level = np.trunc(z * scale)
+                p = fold_unit((y + s_level) / scale)
+            inseg = self._in_segment(p, ci)
+            newly = pending & inseg
+            t[newly] = level
+            if s_level is not None:
+                s_final[newly] = s_level[newly]
+            pending &= ~inseg
+            if not pending.any():
+                break
+        else:  # pragma: no cover - beyond every Corollary 2.5 bound
+            raise RuntimeError("batch_fast_lookup failed to converge")
+
+        owner_idx = self.cover(y)
+        hops = np.zeros(size, dtype=np.int64)
+        cur = ci.copy()
+        tmax = int(t.max()) if size else 0
+        back = None
+        if keep_paths:
+            back = np.full((tmax + 1, size), -1, dtype=np.int64)
+            back[t, np.arange(size)] = ci
+        for j in range(tmax - 1, -1, -1):
+            scale_j = float(self.delta) ** j
+            off = np.mod(s_final, scale_j)
+            p = fold_unit((y + off) / scale_j)
+            c = self.cover(p)
+            live = t > j
+            hops += live & (c != cur)
+            cur = np.where(live, c, cur)
+            if back is not None:
+                back[j, live] = c[live]
+        return BatchLookupResult(
+            algorithm="fast",
+            points=self.points,
+            targets=y,
+            sources=src,
+            source_idx=ci,
+            owner_idx=owner_idx,
+            t=t,
+            hops=hops,
+            _phase2_levels=back,
+        )
+
+    # ------------------------------------------------------------ dh lookup
+    def batch_dh_lookup(
+        self,
+        sources,
+        targets,
+        rng: Optional[np.random.Generator] = None,
+        tau: Optional[np.ndarray] = None,
+        keep_paths: bool = False,
+        max_steps: int = MAX_WALK_STEPS,
+    ) -> BatchLookupResult:
+        """Vectorized two-phase Distance Halving Lookup (§2.2.2).
+
+        Phase I advances every unresolved lookup one random digit per
+        iteration (``pos/Δ + d/Δ``, the same elementwise IEEE ops as the
+        scalar ``child``); the stop test "target image covered by me or
+        by a neighbour" is a segment-bound comparison plus one binary
+        search in the sorted edge-key table.  Phase II descends the
+        closed-form backward walk one level per iteration, exactly like
+        the fast path.
+
+        Supply ``tau`` (shape ``(size, L)`` or ``(L,)``, digits in
+        ``[0, Δ)``) to fix the random strings — with the same ``tau`` the
+        result is bit-identical to scalar ``dh_lookup``.  With ``rng``
+        the *distribution* matches but digits are drawn batch-wise, so
+        individual paths differ from a scalar replay of the same
+        generator.
+        """
+        y = _normalize_array(targets)
+        src = _normalize_array(sources, size=y.size)
+        if src.size != y.size:
+            raise ValueError("sources and targets must have the same length")
+        if rng is None and tau is None:
+            raise ValueError("batch_dh_lookup needs an rng or explicit tau")
+        size = y.size
+        tau_arr: Optional[np.ndarray] = None
+        if tau is not None:
+            tau_arr = np.asarray(tau, dtype=np.int64)
+            if tau_arr.ndim == 1:
+                tau_arr = np.broadcast_to(tau_arr, (size, tau_arr.size))
+            if tau_arr.shape[0] != size:
+                raise ValueError("tau must have one digit string per lookup")
+            if tau_arr.size and ((tau_arr < 0) | (tau_arr >= self.delta)).any():
+                raise ValueError(f"tau digits out of range for delta={self.delta}")
+
+        delta = self.delta
+        cur = self.cover(src)
+        src_idx = cur.copy()
+        pos = src.copy()
+        image = y.copy()
+        t = np.zeros(size, dtype=np.int64)
+        off = np.zeros(size, dtype=np.float64)  # Σ d_k Δ^k, exact in float64
+        hops1 = np.zeros(size, dtype=np.int64)
+        done = np.zeros(size, dtype=bool)
+        p1_rows: List[np.ndarray] = [cur.copy()] if keep_paths else []
+
+        # beyond ~52/log2(Δ) digits the float64 offset accumulator loses
+        # exactness (the scalar engine carries exact integer offsets, so
+        # it can converge on such walks — segments shorter than Δ^-52 —
+        # where we must raise loudly instead of silently diverging);
+        # Theorem 2.8 keeps real walks far below that
+        step_cap = min(max_steps, int(52 / math.log2(delta)))
+        step = 0
+        while not done.all():
+            if step > step_cap:  # pragma: no cover - beyond Theorem 2.8
+                raise RuntimeError("batch_dh_lookup phase I failed to converge")
+            active = ~done
+            done |= active & self._in_segment(image, cur)
+            rem = active & ~done
+            row = None
+            if rem.any():
+                holder = self.cover(image)
+                via_neighbor = rem & self._edge_member(cur, holder)
+                # the holder covers a point outside s(cur), so it is a
+                # distinct server: appending it always costs one hop
+                hops1 += via_neighbor
+                if keep_paths:
+                    row = np.full(size, -1, dtype=np.int64)
+                    row[via_neighbor] = holder[via_neighbor]
+                cur = np.where(via_neighbor, holder, cur)
+                done |= via_neighbor
+                cont = rem & ~via_neighbor
+                if cont.any():
+                    if tau_arr is not None:
+                        if step >= tau_arr.shape[1]:
+                            raise ValueError(
+                                "supplied tau exhausted before lookup finished"
+                            )
+                        d = tau_arr[:, step].astype(np.float64)
+                    else:
+                        d = rng.integers(0, delta, size=size).astype(np.float64)
+                    pos = fold_unit(np.where(cont, pos / delta + d / delta, pos))
+                    image = fold_unit(
+                        np.where(cont, image / delta + d / delta, image)
+                    )
+                    off = np.where(cont, off + d * float(delta) ** step, off)
+                    t += cont
+                    c = self.cover(pos)
+                    hops1 += cont & (c != cur)
+                    if row is not None:
+                        row[cont] = c[cont]
+                    cur = np.where(cont, c, cur)
+            if keep_paths and row is not None:
+                p1_rows.append(row)
+            step += 1
+
+        # Phase II: closed-form backward descent w(τ[:j], y) for j = t_i..0.
+        owner_idx = self.cover(y)
+        hops = hops1.copy()
+        last = cur.copy()
+        tmax = int(t.max()) if size else 0
+        back = np.full((tmax + 1, size), -1, dtype=np.int64) if keep_paths else None
+        for j in range(tmax, -1, -1):
+            scale_j = float(delta) ** j
+            off_j = np.mod(off, scale_j)
+            p = fold_unit((y + off_j) / scale_j)
+            c = self.cover(p)
+            live = t >= j
+            hops += live & (c != last)
+            last = np.where(live, c, last)
+            if back is not None:
+                back[j, live] = c[live]
+        return BatchLookupResult(
+            algorithm="dh",
+            points=self.points,
+            targets=y,
+            sources=src,
+            source_idx=src_idx,
+            owner_idx=owner_idx,
+            t=t,
+            hops=hops,
+            phase1_hops=hops1,
+            _phase1_levels=np.vstack(p1_rows) if keep_paths else None,
+            _phase2_levels=back,
+        )

@@ -30,8 +30,32 @@ __all__ = [
     "debruijn_graph",
     "debruijn_diameter",
     "bit_reversal",
+    "equally_spaced_network",
     "distance_halving_is_debruijn",
 ]
+
+
+def equally_spaced_network(r: int, delta: int = 2, with_ring: bool = False):
+    """The Distance Halving network on the ``Δ^r`` equally spaced ids.
+
+    Ids are the exact dyadic/``Δ``-adic rationals ``x_i = i/Δ^r``
+    (smoothness ``ρ = 1``), the instance on which §2.1 proves the DHT
+    isomorphic to the ``r``-dimensional De Bruijn graph.  Besides the
+    isomorphism check below it serves as the ``ρ = 1`` reference network
+    for the lookup and batch-throughput experiments: every bound of
+    Corollary 2.5 / Theorem 2.8 is tight-modulo-constants here.
+    """
+    from fractions import Fraction
+
+    from .network import DistanceHalvingNetwork
+
+    if r < 1:
+        raise ValueError("dimension r must be >= 1")
+    n = delta**r
+    net = DistanceHalvingNetwork(delta=delta, with_ring=with_ring)
+    for i in range(n):
+        net.join(Fraction(i, n))
+    return net
 
 
 def debruijn_nodes(r: int, delta: int = 2) -> Iterator[Tuple[int, ...]]:
@@ -97,15 +121,7 @@ def distance_halving_is_debruijn(r: int, delta: int = 2) -> bool:
     ``f_v(s(x_i))`` lies inside a single segment, which is what makes the
     correspondence exact.
     """
-    from fractions import Fraction
-
-    from .interval import Arc
-    from .network import DistanceHalvingNetwork
-
-    n = delta**r
-    net = DistanceHalvingNetwork(delta=delta, with_ring=False)
-    for i in range(n):
-        net.join(Fraction(i, n))
+    net = equally_spaced_network(r, delta=delta, with_ring=False)
 
     points = list(net.points())
     dh_edges = set()

@@ -36,7 +36,8 @@ from .continuous import Digits
 from .interval import normalize
 from .network import DistanceHalvingNetwork
 
-__all__ = ["LookupResult", "fast_lookup", "dh_lookup", "MAX_WALK_STEPS"]
+__all__ = ["LookupResult", "fast_lookup", "dh_lookup", "lookup_many",
+           "compress_path", "MAX_WALK_STEPS"]
 
 #: Hard safety bound on walk length; Corollary 2.5 / Theorem 2.8 give
 #: ≈ 2(log n + log ρ) ≤ 4 log n for reasonable ρ, far below this.
@@ -80,8 +81,13 @@ class LookupResult:
         )
 
 
-def _compress(points: Sequence[float]) -> List[float]:
-    """Remove consecutive duplicates (same server handling several walk steps)."""
+def compress_path(points: Sequence[float]) -> List[float]:
+    """Remove consecutive duplicates (same server handling several walk steps).
+
+    The hop count of a route is ``len(compress_path(servers)) - 1``; the
+    batch engine reproduces exactly this compression when reconstructing
+    per-lookup server paths.
+    """
     out: List[float] = []
     for p in points:
         if not out or out[-1] != p:
@@ -123,7 +129,7 @@ def fast_lookup(
     # Step 2: move backwards along b edges; the point after k backward steps
     # is w(digits[:t-k], y), computed in closed form for numeric stability.
     continuous = [g.walk(digits[:j], y) for j in range(t, -1, -1)]
-    servers = _compress([net.segments.cover_point(p) for p in continuous])
+    servers = compress_path([net.segments.cover_point(p) for p in continuous])
     return LookupResult(
         target=y,
         owner=net.segments.cover_point(y),
@@ -132,6 +138,37 @@ def fast_lookup(
         t=t,
         phase2_digits=digits,
     )
+
+
+def lookup_many(
+    net: DistanceHalvingNetwork,
+    sources: Sequence[float],
+    targets: Sequence[float],
+    algorithm: str = "fast",
+    rng: Optional[np.random.Generator] = None,
+    taus: Optional[Sequence[Sequence[int]]] = None,
+) -> List[LookupResult]:
+    """Route many lookups one at a time through the scalar engine.
+
+    This is the reference loop the vectorised
+    :class:`~repro.core.batch.BatchRouter` is measured against (and
+    parity-checked against): identical semantics, one Python call per
+    hop per lookup.  ``taus`` optionally fixes the per-lookup digit
+    strings of the Distance Halving algorithm so a batch run with the
+    same strings is bit-comparable.
+    """
+    if algorithm not in ("fast", "dh"):
+        raise ValueError(f"unknown algorithm {algorithm!r}; use 'fast' or 'dh'")
+    if algorithm == "dh" and rng is None and taus is None:
+        raise ValueError("dh lookups need an rng or explicit taus")
+    out: List[LookupResult] = []
+    for i, (s, y) in enumerate(zip(sources, targets)):
+        if algorithm == "fast":
+            out.append(fast_lookup(net, float(s), float(y)))
+        else:
+            tau = None if taus is None else taus[i]
+            out.append(dh_lookup(net, float(s), float(y), rng, tau=tau))
+    return out
 
 
 def dh_lookup(
@@ -192,7 +229,7 @@ def dh_lookup(
     continuous_back = [g.walk(digits[:j], y) for j in range(len(digits), -1, -1)]
     phase2_servers = [net.segments.cover_point(p) for p in continuous_back]
 
-    servers = _compress(phase1_servers + phase2_servers)
+    servers = compress_path(phase1_servers + phase2_servers)
     continuous = [g.walk(digits[:j], src) for j in range(len(digits) + 1)]
     continuous += continuous_back
     return LookupResult(
@@ -202,5 +239,5 @@ def dh_lookup(
         continuous_path=continuous,
         t=t,
         phase2_digits=digits,
-        phase1_hops=max(0, len(_compress(phase1_servers)) - 1),
+        phase1_hops=max(0, len(compress_path(phase1_servers)) - 1),
     )

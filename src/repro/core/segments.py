@@ -35,7 +35,42 @@ import numpy as np
 
 from .interval import Arc, Number, normalize
 
-__all__ = ["SegmentMap"]
+__all__ = ["SegmentMap", "cover_indices", "fold_unit", "normalize_array"]
+
+
+def fold_unit(x: np.ndarray) -> np.ndarray:
+    """In-place ``1.0 → 0.0`` fold on an array of ring points.
+
+    Float rounding can land a value that is < 1 in exact arithmetic on
+    exactly 1.0; :func:`repro.core.interval.normalize` folds that case,
+    and every vectorised path must apply the same fold to stay
+    bit-identical with the scalar engine.
+    """
+    x[x == 1.0] = 0.0
+    return x
+
+
+def normalize_array(ys) -> np.ndarray:
+    """Vectorised :func:`repro.core.interval.normalize` (float64, 1-d).
+
+    Always returns a fresh array (``np.mod`` copies), so in-place edits
+    by callers never alias the input.
+    """
+    return fold_unit(np.atleast_1d(np.mod(np.asarray(ys, dtype=np.float64), 1.0)))
+
+
+def cover_indices(points: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Vectorised cover query over a sorted point vector.
+
+    ``ys`` must already lie in ``[0, 1)``.  Matches :meth:`SegmentMap.cover`
+    exactly: greatest ``x_i <= y``, wrapping below ``x_0`` to the last
+    server.  Shared by :meth:`SegmentMap.cover_array` and the batch
+    engine's :meth:`~repro.core.batch.BatchRouter.cover` so the two can
+    never drift.
+    """
+    idx = np.searchsorted(points, ys, side="right") - 1
+    idx[idx < 0] = len(points) - 1
+    return idx
 
 
 class SegmentMap:
@@ -67,6 +102,44 @@ class SegmentMap:
     def as_array(self) -> np.ndarray:
         """Points as a float64 NumPy array (for vectorised analytics)."""
         return np.asarray([float(p) for p in self._points], dtype=np.float64)
+
+    def bounds_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-segment ``(starts, ends)`` as float64 arrays, in ring order.
+
+        Segment ``i`` is ``[starts[i], ends[i])``; the last entry wraps
+        (``ends[-1] == starts[0]``).  With a single point both arrays are
+        equal — the full-ring segment, matching :class:`Arc`'s convention.
+        Used by the batch-lookup engine for vectorised membership tests.
+        """
+        pts = self.as_array()
+        if len(pts) == 0:
+            raise LookupError("empty segment map has no segments")
+        return pts, np.roll(pts, -1)
+
+    def midpoints_array(self) -> np.ndarray:
+        """Per-segment midpoints as a float64 array.
+
+        Computed through :attr:`Arc.midpoint` segment by segment so the
+        values are bit-identical to what the scalar lookup engine sees —
+        the batch fast lookup derives its approach digits from these.
+        """
+        n = len(self._points)
+        if n == 0:
+            raise LookupError("empty segment map has no segments")
+        return np.asarray(
+            [float(self.segment(i).midpoint) for i in range(n)], dtype=np.float64
+        )
+
+    def cover_array(self, ys) -> np.ndarray:
+        """Vectorised :meth:`cover`: one ``np.searchsorted`` for a batch.
+
+        ``ys`` may be any array-like of points; values are normalised
+        into ``[0, 1)`` first.  Returns an int array of segment indices
+        equal element-wise to ``[self.cover(y) for y in ys]``.
+        """
+        if not self._points:
+            raise LookupError("empty segment map covers nothing")
+        return cover_indices(self.as_array(), normalize_array(ys))
 
     def insert(self, point: Number) -> int:
         """Insert a new point (a server join); returns its index.

@@ -3,7 +3,7 @@
 Every experiment module registers a ``run(seed, quick)`` callable that
 returns an :class:`ExperimentResult` — a set of measured rows plus the
 paper's claim and a pass/fail verdict, so EXPERIMENTS.md can be
-regenerated mechanically (``repro-experiments run all``).
+regenerated mechanically (``python -m repro.cli run all``).
 """
 
 from __future__ import annotations

@@ -80,12 +80,49 @@ class GF256:
         return cls._EXP[(cls._LOG[a] * e) % 255]
 
 
+def _xor_dot(u: Sequence[int], v: Sequence[int]) -> int:
+    """Inner product over GF(256) (multiply then XOR-accumulate)."""
+    acc = 0
+    for a, b in zip(u, v):
+        acc ^= GF256.mul(a, b)
+    return acc
+
+
+def _gf_mat_inv(m: List[List[int]]) -> List[List[int]]:
+    """Invert a square matrix over GF(256) by Gauss–Jordan elimination."""
+    k = len(m)
+    a = [row[:] for row in m]
+    inv = [[1 if r == c else 0 for c in range(k)] for r in range(k)]
+    for col in range(k):
+        pivot = next((r for r in range(col, k) if a[r][col] != 0), None)
+        if pivot is None:
+            raise ValueError("singular matrix over GF(256)")
+        a[col], a[pivot] = a[pivot], a[col]
+        inv[col], inv[pivot] = inv[pivot], inv[col]
+        scale = GF256.inv(a[col][col])
+        a[col] = [GF256.mul(scale, v) for v in a[col]]
+        inv[col] = [GF256.mul(scale, v) for v in inv[col]]
+        for r in range(k):
+            if r == col or a[r][col] == 0:
+                continue
+            factor = a[r][col]
+            a[r] = [GF256.add(v, GF256.mul(factor, w))
+                    for v, w in zip(a[r], a[col])]
+            inv[r] = [GF256.add(v, GF256.mul(factor, w))
+                      for v, w in zip(inv[r], inv[col])]
+    return inv
+
+
 class ReedSolomonCode:
     """Systematic ``(k, n)`` MDS code: any ``k`` of ``n`` shares suffice.
 
-    Share ``i < k`` is the ``i``-th data chunk verbatim; parity share
-    ``i ≥ k`` evaluates the data polynomial rows of a Vandermonde matrix
-    at distinct field points, so every ``k × k`` submatrix is invertible.
+    The generator is ``G = V · (V_top)⁻¹`` where ``V`` is the ``n × k``
+    Vandermonde matrix over distinct field points: the top block becomes
+    the identity (share ``i < k`` is the ``i``-th data chunk verbatim),
+    and since any ``k`` rows of ``V`` form an invertible Vandermonde,
+    any ``k`` rows of ``G`` stay invertible.  (Stacking identity rows on
+    *raw* Vandermonde parity rows — the textbook shortcut — does NOT
+    have this property; mixed identity/parity subsets can be singular.)
     """
 
     def __init__(self, k: int, n: int):
@@ -93,9 +130,14 @@ class ReedSolomonCode:
             raise ValueError("need 1 <= k <= n <= 255")
         self.k = k
         self.n = n
-        # rows k..n-1: Vandermonde rows over distinct evaluation points
+        vand = [[GF256.pow(i + 1, j) for j in range(k)] for i in range(n)]
+        top_inv = _gf_mat_inv(vand[:k])
         self._parity_rows: List[List[int]] = [
-            [GF256.pow(i + 1, j) for j in range(k)] for i in range(k, n)
+            [
+                _xor_dot(vand[i], [top_inv[j][c] for j in range(k)])
+                for c in range(k)
+            ]
+            for i in range(k, n)
         ]
 
     # ------------------------------------------------------------- encoding

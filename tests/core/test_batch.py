@@ -1,0 +1,293 @@
+"""Unit tests for the vectorized batch-lookup engine (core/batch.py).
+
+The engine's contract is *bit-parity* with the scalar §2.2 algorithms:
+same owners, same walk parameters, same hop counts, same compressed
+server paths.  These tests pin that contract on small and degenerate
+networks; tests/property/test_batch_parity.py covers random networks at
+scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.balance import MultipleChoice
+from repro.core import (
+    BatchRouter,
+    DistanceHalvingNetwork,
+    dh_lookup,
+    equally_spaced_network,
+    fast_lookup,
+    lookup_many,
+)
+
+
+def make_net(n, seed=0, delta=2, with_ring=True, balanced=False):
+    rng = np.random.default_rng(seed)
+    net = DistanceHalvingNetwork(delta=delta, with_ring=with_ring, rng=rng)
+    net.populate(n, selector=MultipleChoice(t=4) if balanced else None)
+    return net, rng
+
+
+def workload(net, size, seed):
+    route = np.random.default_rng(seed)
+    pts = net.segments.as_array()
+    return pts[route.integers(0, net.n, size=size)], route.random(size)
+
+
+class TestSnapshot:
+    def test_cover_matches_segment_map(self):
+        net, _ = make_net(64, seed=1)
+        router = net.compile_router()
+        ys = np.random.default_rng(2).random(500)
+        expect = np.array([net.segments.cover(y) for y in ys])
+        assert (router.cover(ys) == expect).all()
+
+    def test_cover_array_on_segment_map(self):
+        net, _ = make_net(33, seed=3)
+        ys = np.random.default_rng(4).random(200)
+        expect = np.array([net.segments.cover(y) for y in ys])
+        assert (net.segments.cover_array(ys) == expect).all()
+
+    def test_cover_wraps_below_first_point(self):
+        net = DistanceHalvingNetwork()
+        net.join(0.4)
+        net.join(0.7)
+        router = net.compile_router()
+        assert (router.cover(np.array([0.1])) == [1]).all()
+
+    def test_midpoints_match_arcs(self):
+        net, _ = make_net(50, seed=5)
+        router = net.compile_router()
+        for i in range(net.n):
+            assert router.midpoints[i] == float(net.segments.segment(i).midpoint)
+
+    def test_empty_network_rejected(self):
+        net = DistanceHalvingNetwork()
+        with pytest.raises(LookupError):
+            net.compile_router()
+
+    def test_adjacency_arrays_match_neighbor_points(self):
+        net, _ = make_net(40, seed=6)
+        indptr, indices = net.adjacency_arrays()
+        pts = list(net.segments)
+        index = {p: i for i, p in enumerate(pts)}
+        for i, p in enumerate(pts):
+            row = set(indices[indptr[i]:indptr[i + 1]].tolist())
+            assert row == {index[q] for q in net.neighbor_points(p)}
+
+    def test_snapshot_ignores_later_churn(self):
+        net, _ = make_net(32, seed=7)
+        router = net.compile_router()
+        net.join(0.123456)
+        assert router.n == 32  # frozen; caller must recompile after churn
+
+
+class TestBatchFastLookup:
+    @pytest.mark.parametrize("n", [1, 2, 3, 16, 128])
+    def test_parity_small_networks(self, n):
+        net, _ = make_net(n, seed=n + 10)
+        router = net.compile_router()
+        src, tgt = workload(net, 200, n + 11)
+        batch = router.batch_fast_lookup(src, tgt, keep_paths=True)
+        for i, r in enumerate(lookup_many(net, src, tgt)):
+            assert r.owner == batch.owner[i]
+            assert r.t == batch.t[i]
+            assert r.hops == batch.hops[i]
+            assert r.server_path == batch.server_path(i)
+
+    def test_parity_general_delta(self):
+        net, _ = make_net(81, seed=30, delta=4)
+        router = net.compile_router()
+        src, tgt = workload(net, 150, 31)
+        batch = router.batch_fast_lookup(src, tgt)
+        for i, r in enumerate(lookup_many(net, src, tgt)):
+            assert (r.owner, r.t, r.hops) == (
+                batch.owner[i], batch.t[i], batch.hops[i])
+
+    def test_parity_equally_spaced_dyadic(self):
+        # Fraction ids, but dyadic, so the float snapshot is exact
+        net = equally_spaced_network(6)
+        router = net.compile_router()
+        src, tgt = workload(net, 150, 32)
+        batch = router.batch_fast_lookup(src, tgt, keep_paths=True)
+        for i, r in enumerate(lookup_many(net, src, tgt)):
+            assert [float(p) for p in r.server_path] == batch.server_path(i)
+
+    def test_scalar_sources_broadcast(self):
+        net, _ = make_net(32, seed=33)
+        router = net.compile_router()
+        src = float(net.segments.as_array()[0])
+        tgt = np.random.default_rng(34).random(50)
+        batch = router.batch_fast_lookup(src, tgt)
+        assert batch.size == 50
+        assert (batch.sources == src).all()
+
+    def test_mismatched_lengths_rejected(self):
+        net, _ = make_net(8, seed=35)
+        router = net.compile_router()
+        with pytest.raises(ValueError):
+            router.batch_fast_lookup(np.zeros(4), np.zeros(3))
+
+    def test_paths_require_keep_paths(self):
+        net, _ = make_net(8, seed=36)
+        router = net.compile_router()
+        res = router.batch_fast_lookup(np.array([0.1]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            res.server_path(0)
+
+    def test_targets_normalized(self):
+        net, _ = make_net(16, seed=37)
+        router = net.compile_router()
+        a = router.batch_fast_lookup(np.array([0.0]), np.array([1.25]))
+        b = router.batch_fast_lookup(np.array([0.0]), np.array([0.25]))
+        assert a.owner[0] == b.owner[0] and a.hops[0] == b.hops[0]
+
+
+class TestBatchDHLookup:
+    @pytest.mark.parametrize("with_ring", [True, False])
+    def test_parity_fixed_tau(self, with_ring):
+        net, _ = make_net(64, seed=40, with_ring=with_ring)
+        router = net.compile_router(with_adjacency=True)
+        src, tgt = workload(net, 120, 41)
+        tau = np.random.default_rng(42).integers(0, 2, size=(120, 64))
+        batch = router.batch_dh_lookup(src, tgt, tau=tau, keep_paths=True)
+        scalar = lookup_many(net, src, tgt, algorithm="dh",
+                             taus=[list(row) for row in tau])
+        for i, r in enumerate(scalar):
+            assert r.owner == batch.owner[i]
+            assert r.t == batch.t[i]
+            assert r.hops == batch.hops[i]
+            assert r.phase1_hops == batch.phase1_hops[i]
+            assert r.server_path == batch.server_path(i)
+
+    def test_rng_mode_reaches_owner_within_bounds(self):
+        net, _ = make_net(128, seed=43, balanced=True)
+        router = net.compile_router(with_adjacency=True)
+        src, tgt = workload(net, 500, 44)
+        res = router.batch_dh_lookup(src, tgt, rng=np.random.default_rng(45))
+        expect = net.segments.cover_array(res.targets)
+        assert (res.owner_idx == expect).all()
+        rho = net.smoothness()
+        assert res.hops.max() <= 2 * np.log2(net.n) + 2 * np.log2(rho) + 2
+
+    def test_shared_tau_row_broadcasts(self):
+        net, _ = make_net(32, seed=46)
+        router = net.compile_router(with_adjacency=True)
+        src, tgt = workload(net, 20, 47)
+        tau = np.random.default_rng(48).integers(0, 2, size=64)
+        res = router.batch_dh_lookup(src, tgt, tau=tau)
+        scalar = lookup_many(net, src, tgt, algorithm="dh",
+                             taus=[list(tau)] * 20)
+        assert [r.hops for r in scalar] == res.hops.tolist()
+
+    def test_exhausted_tau_raises(self):
+        net, _ = make_net(256, seed=49)
+        router = net.compile_router(with_adjacency=True)
+        with pytest.raises(ValueError):
+            router.batch_dh_lookup(np.array([0.01]), np.array([0.9]),
+                                   tau=np.array([[0]]))
+
+    def test_needs_rng_or_tau(self):
+        net, _ = make_net(8, seed=50)
+        router = net.compile_router(with_adjacency=True)
+        with pytest.raises(ValueError):
+            router.batch_dh_lookup(np.array([0.1]), np.array([0.5]))
+
+    def test_tau_digits_validated(self):
+        net, _ = make_net(8, seed=51)
+        router = net.compile_router(with_adjacency=True)
+        with pytest.raises(ValueError):
+            router.batch_dh_lookup(np.array([0.1]), np.array([0.5]),
+                                   tau=np.array([[7, 0, 1]]))
+
+    def test_single_server_zero_hops(self):
+        net = DistanceHalvingNetwork()
+        net.join(0.2)
+        router = net.compile_router(with_adjacency=True)
+        res = router.batch_dh_lookup(np.array([0.2, 0.2]), np.array([0.8, 0.1]),
+                                     rng=np.random.default_rng(0))
+        assert (res.hops == 0).all() and (res.t == 0).all()
+
+
+class TestLookupMany:
+    def test_fast_matches_individual_calls(self):
+        net, _ = make_net(32, seed=60)
+        src, tgt = workload(net, 25, 61)
+        many = lookup_many(net, src, tgt)
+        for i, r in enumerate(many):
+            assert r.server_path == fast_lookup(net, src[i], tgt[i]).server_path
+
+    def test_dh_with_taus_matches_individual_calls(self):
+        net, _ = make_net(32, seed=62)
+        src, tgt = workload(net, 10, 63)
+        taus = [list(np.random.default_rng(64 + i).integers(0, 2, 64))
+                for i in range(10)]
+        many = lookup_many(net, src, tgt, algorithm="dh", taus=taus)
+        for i, r in enumerate(many):
+            ref = dh_lookup(net, src[i], tgt[i], None, tau=taus[i])
+            assert r.server_path == ref.server_path
+
+    def test_rejects_unknown_algorithm(self):
+        net, _ = make_net(4, seed=65)
+        with pytest.raises(ValueError):
+            lookup_many(net, [0.1], [0.2], algorithm="magic")
+
+    def test_dh_requires_randomness(self):
+        net, _ = make_net(4, seed=66)
+        with pytest.raises(ValueError):
+            lookup_many(net, [0.1], [0.2], algorithm="dh")
+
+
+class TestUnitFold:
+    """Walk values rounding to exactly 1.0 must fold to 0.0 (as the
+    scalar engine's normalize-at-use does), or routes diverge."""
+
+    def test_dh_parity_at_target_nextafter_one(self):
+        net, _ = make_net(50, seed=3)
+        router = net.compile_router(with_adjacency=True)
+        y = np.nextafter(1.0, 0)  # y/2 + 1/2 rounds to exactly 1.0
+        src = net.segments.as_array()[5]
+        tau = np.full((1, 64), 1, dtype=np.int64)
+        batch = router.batch_dh_lookup([src], [y], tau=tau, keep_paths=True)
+        ref = dh_lookup(net, src, y, None, tau=list(tau[0]))
+        assert ref.t == batch.t[0]
+        assert ref.hops == batch.hops[0]
+        assert ref.server_path == batch.server_path(0)
+
+    def test_fast_parity_at_target_nextafter_one(self):
+        net, _ = make_net(50, seed=3)
+        router = net.compile_router()
+        y = np.nextafter(1.0, 0)
+        srcs = net.segments.as_array()
+        batch = router.batch_fast_lookup(srcs, np.full(net.n, y),
+                                         keep_paths=True)
+        for i, r in enumerate(lookup_many(net, srcs, np.full(net.n, y))):
+            assert r.t == batch.t[i]
+            assert r.hops == batch.hops[i]
+            assert r.server_path == batch.server_path(i)
+
+
+class TestStaleRouter:
+    def test_lazy_adjacency_after_churn_raises(self):
+        net, _ = make_net(16, seed=9)
+        router = net.compile_router()  # lazy adjacency
+        net.join(0.987654)
+        with pytest.raises(RuntimeError, match="rebuild"):
+            router.batch_dh_lookup(
+                [0.1], [0.3], tau=np.zeros((1, 32), dtype=np.int64)
+            )
+
+
+class TestDeepWalks:
+    def test_fast_parity_beyond_mantissa_levels(self):
+        # a ~2^-53-length segment forces t=55; power-of-two delta scales
+        # exactly, so the batch engine must match the scalar one there
+        net = DistanceHalvingNetwork()
+        net.join(0.3)
+        net.join(float(np.nextafter(np.nextafter(0.3, 1), 1)))
+        router = net.compile_router()
+        batch = router.batch_fast_lookup([0.3], [0.9], keep_paths=True)
+        ref = fast_lookup(net, 0.3, 0.9)
+        assert ref.t == batch.t[0] == 55
+        assert ref.hops == batch.hops[0]
+        assert ref.server_path == batch.server_path(0)

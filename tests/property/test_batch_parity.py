@@ -1,0 +1,114 @@
+"""Property tests: the batch engine is bit-identical to the scalar one.
+
+The vectorized :class:`~repro.core.batch.BatchRouter` re-implements the
+§2.2 routing algorithms with closed-form array arithmetic; its contract
+is that *every* observable of a lookup — owner, walk parameter ``t``,
+hop count, compressed server path — matches the scalar engine exactly,
+for any (source, target) pair on any decomposition.  Hypothesis drives
+the pair choice on shared random networks of n ∈ {16, 256}; a seeded
+sweep covers n = 4096 (the throughput-scale instance, too expensive to
+rebuild per example).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance import MultipleChoice
+from repro.core import DistanceHalvingNetwork, lookup_many
+
+unit_float = st.floats(min_value=0.0, max_value=1.0, exclude_max=False,
+                       allow_nan=False, allow_infinity=False)
+
+
+def _build(n, seed, balanced=False):
+    rng = np.random.default_rng(seed)
+    net = DistanceHalvingNetwork(rng=rng)
+    net.populate(n, selector=MultipleChoice(t=4) if balanced else None)
+    return net, net.compile_router(with_adjacency=True)
+
+
+NETS = {}
+
+
+def net_and_router(n):
+    if n not in NETS:
+        NETS[n] = _build(n, seed=1000 + n, balanced=(n >= 4096))
+    return NETS[n]
+
+
+class TestFastParityHypothesis:
+    @settings(max_examples=150, deadline=None)
+    @given(n=st.sampled_from([16, 256]), src_pick=unit_float, y=unit_float)
+    def test_single_pair_full_parity(self, n, src_pick, y):
+        net, router = net_and_router(n)
+        # any point works as a source: the lookup starts at its cover
+        src = float(net.segments.cover_point(src_pick))
+        [scalar] = lookup_many(net, [src], [y])
+        batch = router.batch_fast_lookup(np.array([src]), np.array([y]),
+                                         keep_paths=True)
+        assert scalar.owner == batch.owner[0]
+        assert scalar.t == batch.t[0]
+        assert scalar.hops == batch.hops[0]
+        assert scalar.server_path == batch.server_path(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.sampled_from([16, 256]), y=unit_float,
+           tau_bits=st.integers(min_value=0, max_value=2**64 - 1))
+    def test_dh_single_pair_full_parity(self, n, y, tau_bits):
+        net, router = net_and_router(n)
+        src = float(net.segments.cover_point(y * 0.7919 % 1.0))
+        tau = [(tau_bits >> k) & 1 for k in range(64)]
+        [scalar] = lookup_many(net, [src], [y], algorithm="dh", taus=[tau])
+        batch = router.batch_dh_lookup(np.array([src]), np.array([y]),
+                                       tau=np.array([tau]), keep_paths=True)
+        assert scalar.owner == batch.owner[0]
+        assert scalar.hops == batch.hops[0]
+        assert scalar.phase1_hops == batch.phase1_hops[0]
+        assert scalar.server_path == batch.server_path(0)
+
+
+class TestParityAtScale:
+    """Seeded sweeps on the sizes the issue names, including n=4096."""
+
+    @pytest.mark.parametrize("n,count", [(16, 400), (256, 400), (4096, 300)])
+    def test_fast_parity_sweep(self, n, count):
+        net, router = net_and_router(n)
+        route = np.random.default_rng(2000 + n)
+        pts = net.segments.as_array()
+        src = pts[route.integers(0, n, size=count)]
+        tgt = route.random(count)
+        batch = router.batch_fast_lookup(src, tgt, keep_paths=True)
+        for i, r in enumerate(lookup_many(net, src, tgt)):
+            assert r.owner == batch.owner[i]
+            assert r.t == batch.t[i]
+            assert r.hops == batch.hops[i]
+            assert r.server_path == batch.server_path(i)
+
+    @pytest.mark.parametrize("n,count", [(16, 200), (256, 200), (4096, 100)])
+    def test_dh_parity_sweep(self, n, count):
+        net, router = net_and_router(n)
+        route = np.random.default_rng(3000 + n)
+        pts = net.segments.as_array()
+        src = pts[route.integers(0, n, size=count)]
+        tgt = route.random(count)
+        tau = route.integers(0, 2, size=(count, 80))
+        batch = router.batch_dh_lookup(src, tgt, tau=tau, keep_paths=True)
+        scalar = lookup_many(net, src, tgt, algorithm="dh",
+                             taus=[list(row) for row in tau])
+        for i, r in enumerate(scalar):
+            assert r.owner == batch.owner[i]
+            assert r.t == batch.t[i]
+            assert r.hops == batch.hops[i]
+            assert r.server_path == batch.server_path(i)
+
+    def test_batch_hops_respect_corollary_2_5(self):
+        net, router = net_and_router(4096)
+        route = np.random.default_rng(4096)
+        pts = net.segments.as_array()
+        src = pts[route.integers(0, 4096, size=5000)]
+        batch = router.batch_fast_lookup(src, route.random(5000))
+        bound = np.log2(net.n) + np.log2(net.smoothness()) + 1
+        assert batch.t.max() <= bound + 1e-9
+        assert (batch.hops <= batch.t).all()
