@@ -22,6 +22,11 @@ subcommands:
   bench-throughput  measure the vectorized batch-lookup engine against
                     the scalar per-hop loop on one network, with a
                     bit-parity cross-check (see docs/BENCHMARKS.md)
+  bench-churn       soak the auto-refresh router under churn traces
+                    (incl. a 50% mass departure) interleaved with bulk
+                    lookup batches; reports lookups/sec, incremental
+                    refresh cost per membership op, and the refresh
+                    speedup over a full compile_router()
 
 invocation: PYTHONPATH=src python -m repro.cli <subcommand> [options]
 """
@@ -52,6 +57,40 @@ def _bench_throughput(args) -> int:
     ok = result["parity_ok"] and result["speedup"] >= args.min_speedup
     verdict = "PASS" if ok else "FAIL"
     print(f"[{verdict}] parity and speedup ≥ {args.min_speedup:g}x")
+    return 0 if ok else 1
+
+
+def _bench_churn(args) -> int:
+    from .experiments.churn_soak import format_churn_report, measure_churn_soak
+
+    if args.n < 8 or args.lookups < 1 or args.churn_ops < 1 or args.phases < 1:
+        print(
+            "bench-churn: --n must be >= 8; --lookups, --churn-ops and "
+            "--phases must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 <= args.leave_prob <= 1.0:
+        print("bench-churn: --leave-prob must be in [0, 1]", file=sys.stderr)
+        return 2
+
+    result = measure_churn_soak(
+        n=args.n,
+        lookups=args.lookups,
+        phases=args.phases,
+        churn_ops=args.churn_ops,
+        leave_prob=args.leave_prob,
+        mass_n=args.mass_n,
+        seed=args.seed,
+        churn_budget=args.churn_budget,
+    )
+    print(format_churn_report(result))
+    ok = result["owners_ok"] and result["refresh_speedup"] >= args.min_refresh_speedup
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"[{verdict}] owners fresh and incremental refresh ≥ "
+        f"{args.min_refresh_speedup:g}x over full compile"
+    )
     return 0 if ok else 1
 
 
@@ -100,6 +139,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit non-zero when the batch engine is slower than this factor",
     )
 
+    churnp = sub.add_parser(
+        "bench-churn",
+        help="churn soak: auto-refresh router vs full recompiles (owner check)",
+    )
+    churnp.add_argument(
+        "--n", type=int, default=16384, help="initial network size (up to 65536)"
+    )
+    churnp.add_argument(
+        "--lookups", type=int, default=100_000, help="batch workload size"
+    )
+    churnp.add_argument(
+        "--churn-ops", type=int, default=256, help="churn ops per soak phase"
+    )
+    churnp.add_argument(
+        "--phases", type=int, default=2, help="churn/lookup phases before the "
+        "mass departure"
+    )
+    churnp.add_argument(
+        "--leave-prob", type=float, default=0.3, help="leave fraction of the "
+        "generated traces"
+    )
+    churnp.add_argument(
+        "--mass-n",
+        type=int,
+        default=None,
+        help="cohort size of the final 50%% mass-departure trace "
+        "(default min(n, 16384))",
+    )
+    churnp.add_argument(
+        "--churn-budget",
+        type=int,
+        default=None,
+        help="pending-op budget before an incremental refresh falls back to "
+        "a full rebuild (default max(16, n//16))",
+    )
+    churnp.add_argument("--seed", type=int, default=0)
+    churnp.add_argument(
+        "--min-refresh-speedup",
+        type=float,
+        default=5.0,
+        help="exit non-zero when incremental refresh per churn op is not at "
+        "least this much faster than a full compile_router()",
+    )
+
     args = parser.parse_args(argv)
 
     from .experiments.common import all_experiments
@@ -112,6 +195,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "bench-throughput":
         return _bench_throughput(args)
+    if args.command == "bench-churn":
+        return _bench_churn(args)
 
     names = args.names
     lowered = [n.lower() for n in names]

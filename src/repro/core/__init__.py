@@ -4,7 +4,7 @@ The Distance Halving DHT — continuous graph, dynamic discretization,
 lookup algorithms, and the coupled dynamic-caching protocol.
 """
 
-from .batch import BatchLookupResult, BatchRouter
+from .batch import BatchLookupResult, BatchRouter, RouterRefreshStats
 from .caching import ActiveTree, CachedLookup, CacheSystem
 from .continuous import ContinuousGraph, binary_digits, digits_to_point
 from .debruijn import (
@@ -50,6 +50,7 @@ __all__ = [
     "LookupResult",
     "MAX_WALK_STEPS",
     "PathTree",
+    "RouterRefreshStats",
     "SegmentMap",
     "Server",
     "arcs_cover_ring",

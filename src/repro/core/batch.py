@@ -27,22 +27,74 @@ digit strings ``tau``.  That parity is what the property tests and the
 built-in scalar-subsample cross-check of ``repro.cli bench-throughput``
 assert.
 
-The router is a *snapshot*: it does not observe joins or leaves made
-after construction.  Rebuild it (``net.compile_router()``) after churn.
+The router snapshots the decomposition, but it is not doomed to die at
+the first membership change: every network keeps a membership version
+counter plus a bounded op journal, and a router obtained from
+``net.router(auto_refresh=True)`` re-syncs *incrementally* before each
+batch — pending joins/leaves are replayed as O(affected-region) patches
+to the sorted point/segment/midpoint arrays and the touched adjacency
+rows, falling back to a full recompile only past a configurable churn
+budget.  A plain ``net.compile_router()`` handle instead raises an
+actionable stale-router error rather than silently serving an outdated
+snapshot.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional, Set
 
 import numpy as np
 
 from .lookup import MAX_WALK_STEPS, compress_path
 from .segments import cover_indices, fold_unit, normalize_array
 
-__all__ = ["BatchRouter", "BatchLookupResult"]
+__all__ = ["BatchRouter", "BatchLookupResult", "RouterRefreshStats"]
+
+#: Fixed row stride of the sorted adjacency keys ``row·STRIDE + col``.
+#: Independent of ``n`` so incremental insertions/deletions only have to
+#: shift indices, never re-encode the whole table (requires n < 2^31).
+_ROW_STRIDE = np.int64(1) << 31
+
+#: One message for every stale-router raise site, so the guidance and the
+#: substrings tests match on ("stale", "rebuild", "auto_refresh") cannot drift.
+_STALE_ROUTER_ERROR = (
+    "stale router: the network changed since compile_router() (membership "
+    "version moved on); the router is a frozen snapshot — rebuild it "
+    "(net.compile_router()) after joins or leaves, or compile with "
+    "net.router(auto_refresh=True) to follow churn automatically"
+)
+
+
+def _isin_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Vectorized membership of ``values`` in a *sorted* int table."""
+    if len(table) == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.searchsorted(table, values)
+    pos_c = np.minimum(pos, len(table) - 1)
+    return (pos < len(table)) & (table[pos_c] == values)
+
+
+@dataclass
+class RouterRefreshStats:
+    """Cumulative accounting of a router's re-sync work.
+
+    ``seconds`` covers the patching itself (both modes); the churn-soak
+    experiment divides it by ``ops_replayed`` to report refresh cost per
+    membership op.
+    """
+
+    refreshes: int = 0
+    incremental: int = 0
+    full_rebuilds: int = 0
+    ops_replayed: int = 0
+    seconds: float = 0.0
+
+    def seconds_per_op(self) -> float:
+        return self.seconds / self.ops_replayed if self.ops_replayed else 0.0
+
 
 def _normalize_array(values, size: Optional[int] = None) -> np.ndarray:
     """:func:`~repro.core.segments.normalize_array` with scalar broadcast.
@@ -137,11 +189,37 @@ class BatchRouter:
         :meth:`batch_dh_lookup`.  Costs one pass over all segment images
         (O(n·Δ) cover queries); skipped by default because
         :meth:`batch_fast_lookup` never consults adjacency.
+    auto_refresh:
+        Follow membership changes: before every batch, pending
+        joins/leaves are replayed from the network's membership log as
+        O(affected-region) array patches (see :meth:`refresh`).  When
+        ``False`` (the :meth:`~repro.core.network.DistanceHalvingNetwork
+        .compile_router` default) a stale router raises instead.
+    churn_budget:
+        Maximum number of pending ops an incremental refresh will
+        replay; beyond it the router recompiles from scratch, which is
+        cheaper for bulk changes.  ``None`` means ``max(16, n // 16)``.
     """
 
-    def __init__(self, net, build_adjacency: bool = False) -> None:
+    def __init__(self, net, build_adjacency: bool = False,
+                 auto_refresh: bool = False,
+                 churn_budget: Optional[int] = None) -> None:
         if net.n == 0:
             raise LookupError("cannot compile a router over an empty network")
+        if net.n >= int(_ROW_STRIDE):  # pragma: no cover - 2^31 servers
+            raise ValueError("network too large for the adjacency encoding")
+        self._net = net
+        self.auto_refresh = bool(auto_refresh)
+        self.churn_budget = churn_budget
+        self.refresh_stats = RouterRefreshStats()
+        self._snapshot()
+        if build_adjacency:
+            self._build_adjacency()
+
+    # ------------------------------------------------------------- snapshot
+    def _snapshot(self) -> None:
+        """(Re)build every frozen array from the live network."""
+        net = self._net
         self.delta = int(net.delta)
         self.with_ring = bool(net.with_ring)
         self.n = int(net.n)
@@ -151,24 +229,32 @@ class BatchRouter:
         self.seg_end = ends
         self.midpoints = net.segments.midpoints_array()
         self._edge_keys: Optional[np.ndarray] = None
-        self._net = net
-        if build_adjacency:
-            self._build_adjacency()
+        self._version = net.membership_version
 
-    # ------------------------------------------------------------- snapshot
+    @property
+    def version(self) -> int:
+        """The membership version this router's arrays reflect."""
+        return self._version
+
+    @property
+    def is_stale(self) -> bool:
+        return self._version != self._net.membership_version
+
+    def _ensure_fresh(self) -> None:
+        """Entry guard of every batch call: sync or fail actionably."""
+        if self._version == self._net.membership_version:
+            return
+        if not self.auto_refresh:
+            raise RuntimeError(_STALE_ROUTER_ERROR)
+        self.refresh()
+
     def _build_adjacency(self) -> None:
-        """Sorted ``i·n + j`` keys of every directed neighbour pair."""
-        if self._net.n != self.n or not np.array_equal(
-            self._net.segments.as_array(), self.points
-        ):
-            raise RuntimeError(
-                "network changed since compile_router(); the router is a "
-                "frozen snapshot — rebuild it (net.compile_router()) after "
-                "joins or leaves"
-            )
+        """Sorted ``i·STRIDE + j`` keys of every directed neighbour pair."""
+        if self.is_stale:
+            raise RuntimeError(_STALE_ROUTER_ERROR)
         indptr, indices = self._net.adjacency_arrays()
         rows = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(indptr))
-        self._edge_keys = np.sort(rows * self.n + indices.astype(np.int64))
+        self._edge_keys = np.sort(rows * _ROW_STRIDE + indices.astype(np.int64))
 
     def _edge_member(self, row: np.ndarray, col: np.ndarray) -> np.ndarray:
         """Vectorized ``col[i] in neighbours(row[i])`` membership test."""
@@ -177,10 +263,190 @@ class BatchRouter:
         keys = self._edge_keys
         if len(keys) == 0:
             return np.zeros(row.shape, dtype=bool)
-        q = row.astype(np.int64) * self.n + col.astype(np.int64)
-        pos = np.searchsorted(keys, q)
-        pos_c = np.minimum(pos, len(keys) - 1)
-        return (pos < len(keys)) & (keys[pos_c] == q)
+        q = row.astype(np.int64) * _ROW_STRIDE + col.astype(np.int64)
+        return _isin_sorted(q, keys)
+
+    # -------------------------------------------------- incremental refresh
+    def refresh(self, force_full: bool = False) -> "BatchRouter":
+        """Bring the snapshot up to date with the live network.
+
+        Replays the membership-log suffix since :attr:`version` as
+        incremental patches; recompiles from scratch when ``force_full``
+        is set, the pending-op count exceeds the churn budget, the log
+        window was exceeded, or the network passed through a tiny size
+        (n < 4) where the ring seam makes patching not worth the care.
+        Returns ``self`` so calls chain.
+        """
+        net = self._net
+        target = net.membership_version
+        if target == self._version and not force_full:
+            return self
+        if net.n == 0:
+            raise LookupError("cannot refresh a router over an empty network")
+        t0 = time.perf_counter()
+        pending = None if force_full else net.membership_log.ops_since(
+            self._version)
+        budget = (self.churn_budget if self.churn_budget is not None
+                  else max(16, self.n // 16))
+        ops = target - self._version
+        had_adjacency = self._edge_keys is not None
+        if (pending is not None and len(pending) <= budget
+                and self._apply_incremental(pending)):
+            self.refresh_stats.incremental += 1
+        else:
+            self._snapshot()
+            if had_adjacency:
+                # keep the neighbour table through full rebuilds so the
+                # cost lands in refresh_stats, not in the next dh batch
+                self._build_adjacency()
+            self.refresh_stats.full_rebuilds += 1
+        self.refresh_stats.refreshes += 1
+        self.refresh_stats.ops_replayed += ops
+        self.refresh_stats.seconds += time.perf_counter() - t0
+        return self
+
+    def _apply_incremental(self, pending) -> bool:
+        """Patch the arrays by replaying ``pending``; False to bail to full.
+
+        Per op the point/bound/midpoint arrays get one ``np.insert`` /
+        ``np.delete`` and the adjacency table (when built) drops the
+        keys incident to the affected region — {ring predecessor, ring
+        successor, the touched point} plus the predecessor's neighbour
+        row — with the surviving keys renumbered in place.  Affected
+        rows are only *recomputed* once, after the whole suffix is
+        applied, against the live (final) decomposition; correctness
+        rests on the §2.1 locality argument: a neighbour set can only
+        change if one of its covering arcs intersects the split/merged
+        segment, which makes its server a logged point's neighbour.
+        """
+        n = self.n
+        for kind, _p, _idx in pending:
+            if n < 4:
+                return False
+            n += 1 if kind == "join" else -1
+        if n < 4:
+            return False
+
+        points = self.points
+        mids = self.midpoints
+        keys = self._edge_keys
+        dirty_rows: Set[int] = set()
+        dirty_mids: Set[int] = set()
+        for kind, p, idx in pending:
+            n_old = len(points)
+            if kind == "join":
+                n_new = n_old + 1
+                if keys is not None:
+                    pred_old = (idx - 1) % n_old
+                    affected = {pred_old, idx % n_old}
+                    affected.update(self._row_cols(keys, pred_old))
+                    keys = self._drop_keys(keys, affected)
+                    keys = self._renumber_join(keys, idx)
+                    dirty_rows = {d + (d >= idx) for d in dirty_rows}
+                    dirty_rows.update(a + (a >= idx) for a in affected)
+                    dirty_rows.add(idx)
+                points = np.insert(points, idx, p)
+                mids = np.insert(mids, idx, 0.0)
+                dirty_mids = {d + (d >= idx) for d in dirty_mids}
+                dirty_mids.update({idx, (idx - 1) % n_new})
+            else:
+                n_new = n_old - 1
+                if keys is not None:
+                    affected = {idx, (idx - 1) % n_old, (idx + 1) % n_old}
+                    affected.update(self._row_cols(keys, idx))
+                    keys = self._drop_keys(keys, affected)
+                    keys = self._renumber_leave(keys, idx)
+                    dirty_rows = {d - (d > idx) for d in dirty_rows
+                                  if d != idx}
+                    dirty_rows.update(a - (a > idx) for a in affected
+                                      if a != idx)
+                points = np.delete(points, idx)
+                mids = np.delete(mids, idx)
+                dirty_mids = {d - (d > idx) for d in dirty_mids if d != idx}
+                dirty_mids.add((idx - 1) % n_new)
+
+        net = self._net
+        self.points = points
+        self.n = len(points)
+        self.seg_start = points
+        self.seg_end = np.roll(points, -1)
+        segs = net.segments
+        for i in dirty_mids:
+            mids[i] = float(segs.segment(i).midpoint)
+        self.midpoints = mids
+        if keys is not None:
+            keys = self._recompute_rows(keys, dirty_rows)
+        self._edge_keys = keys
+        self._version = net.membership_version
+        return True
+
+    @staticmethod
+    def _row_cols(keys: np.ndarray, row: int) -> np.ndarray:
+        """Neighbour columns of one row in the sorted key table."""
+        lo = np.searchsorted(keys, np.int64(row) * _ROW_STRIDE)
+        hi = np.searchsorted(keys, np.int64(row + 1) * _ROW_STRIDE)
+        return (keys[lo:hi] & (_ROW_STRIDE - 1)).astype(np.int64)
+
+    @staticmethod
+    def _drop_keys(keys: np.ndarray, affected: Iterable[int]) -> np.ndarray:
+        """Delete every key incident to an affected row (either endpoint).
+
+        By symmetry of the undirected neighbour relation this only ever
+        removes keys *between* affected rows' sets, so unaffected rows
+        stay complete — the invariant the replay loop relies on when it
+        reads the next op's neighbour row from the shrinking table.
+        """
+        aff = np.fromiter(affected, dtype=np.int64)
+        aff.sort()
+        rows = keys >> 31
+        cols = keys & (_ROW_STRIDE - 1)
+        keep = ~(_isin_sorted(rows, aff) | _isin_sorted(cols, aff))
+        return keys[keep]
+
+    @staticmethod
+    def _renumber_join(keys: np.ndarray, idx: int) -> np.ndarray:
+        """Shift indices ≥ idx up by one (order-preserving, in bulk)."""
+        rows = keys >> 31
+        cols = keys & (_ROW_STRIDE - 1)
+        rows = rows + (rows >= idx)
+        cols = cols + (cols >= idx)
+        return rows * _ROW_STRIDE + cols
+
+    @staticmethod
+    def _renumber_leave(keys: np.ndarray, idx: int) -> np.ndarray:
+        """Shift indices > idx down by one (idx itself is already gone)."""
+        rows = keys >> 31
+        cols = keys & (_ROW_STRIDE - 1)
+        rows = rows - (rows > idx)
+        cols = cols - (cols > idx)
+        return rows * _ROW_STRIDE + cols
+
+    def _recompute_rows(self, keys: np.ndarray, dirty: Set[int]) -> np.ndarray:
+        """Rebuild the dirty rows against the live net and merge them in.
+
+        Every key incident to a dirty row was dropped during the replay,
+        so inserting ``(r, c)`` for each recomputed neighbour — plus the
+        mirror ``(c, r)`` when ``c`` itself is clean — restores exactly
+        the table a fresh ``_build_adjacency`` would produce.
+        """
+        if not dirty:
+            return keys
+        segs = self._net.segments
+        stride = int(_ROW_STRIDE)
+        fresh: List[int] = []
+        for r in sorted(dirty):
+            for q in self._net.neighbor_points(segs.point_at(r)):
+                c = segs.index_of(q)
+                fresh.append(r * stride + c)
+                if c not in dirty:
+                    fresh.append(c * stride + r)
+        fresh_arr = np.asarray(fresh, dtype=np.int64)
+        fresh_arr.sort()
+        if (np.diff(fresh_arr) == 0).any() or _isin_sorted(fresh_arr, keys).any():
+            raise AssertionError(
+                "incremental adjacency patch produced duplicate edges"
+            )  # pragma: no cover - guarded invariant
+        return np.insert(keys, np.searchsorted(keys, fresh_arr), fresh_arr)
 
     # ---------------------------------------------------------------- cover
     def cover(self, ys: np.ndarray) -> np.ndarray:
@@ -192,6 +458,7 @@ class BatchRouter:
         wrapping below ``x_0`` to the last server.  For raw ring points
         use :meth:`SegmentMap.cover_array`, which normalizes first.
         """
+        self._ensure_fresh()
         return cover_indices(self.points, ys)
 
     def cover_points(self, ys: np.ndarray) -> np.ndarray:
@@ -237,6 +504,7 @@ class BatchRouter:
         ``RuntimeError`` rather than silently diverging from the
         (integer-exact) scalar engine.
         """
+        self._ensure_fresh()
         y = _normalize_array(targets)
         src = _normalize_array(sources, size=y.size)
         if src.size != y.size:
@@ -328,6 +596,7 @@ class BatchRouter:
         individual paths differ from a scalar replay of the same
         generator.
         """
+        self._ensure_fresh()
         y = _normalize_array(targets)
         src = _normalize_array(sources, size=y.size)
         if src.size != y.size:

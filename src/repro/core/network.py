@@ -36,6 +36,49 @@ __all__ = ["DistanceHalvingNetwork"]
 
 IdSelector = Callable[["DistanceHalvingNetwork", np.random.Generator], float]
 
+#: (kind, float(point), index) — one entry per join/leave, in order.
+MembershipOp = tuple
+
+
+class MembershipLog:
+    """Bounded journal of join/leave operations for incremental routers.
+
+    Every membership change appends ``(kind, float(point), index)`` where
+    ``index`` is the point's position in the sorted id vector at the time
+    of the operation (the insertion index for a join, the pre-removal
+    index for a leave).  A :class:`~repro.core.batch.BatchRouter` synced
+    at version ``v`` replays the suffix ``ops_since(v)`` to patch its
+    frozen arrays in O(affected region) instead of recompiling.
+
+    The log is capped (``cap`` entries); a router that fell further
+    behind than the cap gets ``None`` from :meth:`ops_since` and must do
+    a full rebuild.
+    """
+
+    def __init__(self, cap: int = 8192) -> None:
+        self.cap = int(cap)
+        self.version = 0
+        self._ops: List[MembershipOp] = []
+        self._head = 0  # version just before the first retained entry
+
+    def record(self, kind: str, point: float, index: int) -> None:
+        self._ops.append((kind, float(point), int(index)))
+        self.version += 1
+        overflow = len(self._ops) - self.cap
+        if overflow > 0:
+            del self._ops[:overflow]
+            self._head += overflow
+
+    def ops_since(self, version: int) -> Optional[List[MembershipOp]]:
+        """Ops replaying version → current, or ``None`` if trimmed away."""
+        if version > self.version:
+            raise ValueError(
+                f"version {version} is ahead of the network ({self.version})"
+            )
+        if version < self._head:
+            return None
+        return self._ops[version - self._head:]
+
 
 class DistanceHalvingNetwork:
     """A dynamic Distance Halving DHT over ``[0, 1)``.
@@ -68,6 +111,7 @@ class DistanceHalvingNetwork:
         self.item_hash: Callable[[Key], float] = (
             item_hash if item_hash is not None else PointHasher(self._rng)
         )
+        self.membership_log = MembershipLog()
 
     # ------------------------------------------------------------ properties
     @property
@@ -102,6 +146,16 @@ class DistanceHalvingNetwork:
         """``ρ`` of the current decomposition (Definition 1)."""
         return self.segments.smoothness()
 
+    @property
+    def membership_version(self) -> int:
+        """Counter bumped by every :meth:`join` and :meth:`leave`.
+
+        Compiled routers remember the version they snapshotted; a
+        mismatch is how staleness is detected (and, for auto-refresh
+        routers, how the incremental replay window is delimited).
+        """
+        return self.membership_log.version
+
     # ------------------------------------------------------------ membership
     def join(self, point: Optional[Number] = None, name: str = "",
              selector: Optional[IdSelector] = None) -> Server:
@@ -125,14 +179,16 @@ class DistanceHalvingNetwork:
 
         p = normalize(point if isinstance(point, Fraction) else float(point))
         if self.n == 0:
-            self.segments.insert(p)
+            idx = self.segments.insert(p)
             srv = Server(point=p, name=name)
             self.servers[p] = srv
+            self.membership_log.record("join", float(p), idx)
             return srv
         previous_owner = self.owner_of(p)
-        self.segments.insert(p)
+        idx = self.segments.insert(p)
         srv = Server(point=p, name=name)
         self.servers[p] = srv
+        self.membership_log.record("join", float(p), idx)
         # Move items that fall inside the newcomer's segment (step 3).
         new_seg = self.segments.segment_of(p)
         moved = [k for k, (pos, _v) in previous_owner.store.items() if pos in new_seg]
@@ -150,13 +206,15 @@ class DistanceHalvingNetwork:
             raise KeyError(f"no server at {p!r}")
         if self.n == 1:
             del self.servers[p]
-            self.segments.remove(p)
+            idx = self.segments.remove(p)
+            self.membership_log.record("leave", float(p), idx)
             return
         pred_point = self.segments.predecessor(p)
         pred = self.servers[pred_point]
         departing = self.servers.pop(p)
         pred.store.update(departing.store)
-        self.segments.remove(p)
+        idx = self.segments.remove(p)
+        self.membership_log.record("leave", float(p), idx)
 
     def populate(self, n: int, selector: Optional[IdSelector] = None) -> None:
         """Convenience: join ``n`` servers using ``selector`` (default uniform)."""
@@ -325,14 +383,35 @@ class DistanceHalvingNetwork:
     def compile_router(self, with_adjacency: bool = False):
         """Freeze the current decomposition into a vectorised BatchRouter.
 
-        The router is a snapshot — rebuild after joins or leaves.  Pass
-        ``with_adjacency=True`` when you will route with
+        The router is a snapshot: after a join or leave it refuses to
+        route (with an actionable error) until recompiled.  Use
+        :meth:`router` for a handle that follows churn automatically.
+        Pass ``with_adjacency=True`` when you will route with
         :meth:`~repro.core.batch.BatchRouter.batch_dh_lookup` (the fast
         path needs no neighbour table).
         """
         from .batch import BatchRouter
 
         return BatchRouter(self, build_adjacency=with_adjacency)
+
+    def router(self, auto_refresh: bool = True, with_adjacency: bool = False,
+               churn_budget: Optional[int] = None):
+        """A BatchRouter handle that survives joins and leaves.
+
+        With ``auto_refresh=True`` (the default) every batch call first
+        syncs the router to :attr:`membership_version`: pending ops are
+        replayed from the membership log with O(affected-region) patches
+        to the sorted point/segment arrays and the touched adjacency
+        rows, falling back to a full recompile only when more than
+        ``churn_budget`` ops are pending (default ``max(16, n // 16)``)
+        or the log window was exceeded.  With ``auto_refresh=False``
+        this is exactly :meth:`compile_router`.
+        """
+        from .batch import BatchRouter
+
+        return BatchRouter(self, build_adjacency=with_adjacency,
+                           auto_refresh=auto_refresh,
+                           churn_budget=churn_budget)
 
     def to_networkx(self, include_ring: Optional[bool] = None):
         """Undirected NetworkX graph of the current topology."""

@@ -154,19 +154,26 @@ class SegmentMap:
         insort(self._points, p)
         return bisect_left(self._points, p)
 
-    def remove(self, point: Number) -> None:
-        """Remove a point (a server leave).
+    def remove(self, point: Number) -> int:
+        """Remove a point (a server leave); returns its former index.
 
         The ring predecessor implicitly absorbs the vacated segment —
-        the paper's simplest Leave rule (§2.1).
+        the paper's simplest Leave rule (§2.1).  The returned index is
+        what incremental router maintenance needs to patch its sorted
+        arrays without a search.
         """
         p = normalize(point)
         i = bisect_left(self._points, p)
         if i >= len(self._points) or self._points[i] != p:
             raise KeyError(f"point {p!r} not present")
         del self._points[i]
+        return i
 
     # --------------------------------------------------------------- queries
+    def point_at(self, i: int) -> Number:
+        """The ``i``-th point in sorted order (O(1), exact coordinates)."""
+        return self._points[i]
+
     def index_of(self, point: Number) -> int:
         """Index of an existing point; raises ``KeyError`` if absent."""
         p = normalize(point)

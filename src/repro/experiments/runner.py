@@ -14,6 +14,7 @@ from . import (  # noqa: F401
     balance_churn,
     caching_multi,
     caching_single,
+    churn_soak,
     congestion,
     emulation_exp,
     expander_exp,

@@ -92,6 +92,7 @@ def run_churn(
     rng: np.random.Generator,
     selector: Optional[Callable] = None,
     sample_every: int = 8,
+    on_op: Optional[Callable[[int, ChurnOp], None]] = None,
 ) -> ChurnReport:
     """Apply a churn trace; measure smoothness and per-op locality.
 
@@ -100,32 +101,43 @@ def run_churn(
     after neighbour sets of the affected region) every ``sample_every``
     ops to keep the driver fast, since neighbourhood recomputation is the
     expensive part.
+
+    On measured joins the id point is chosen *first* (by the
+    ``selector``, or uniformly from ``rng``) so the affected region is
+    computed around the point the join actually lands on — measuring
+    around a throwaway probe while a selector places the server
+    elsewhere would report the wrong neighbourhood's cost.
+
+    ``on_op(step, op)`` is invoked after every applied operation; the
+    churn-soak experiment uses it to re-sync an incremental router and
+    account its per-op refresh cost.
     """
     report = ChurnReport()
     step = 0
     for op in trace.ops:
         measure = (step % sample_every == 0) and net.n > 2
-        affected_before = {}
-        region: List[float] = []
-        if measure:
-            # the affected region is the target point's vicinity
-            pass
         if op.kind == "join" or net.n == 0:
             if measure:
-                probe = float(rng.random())
-                owner = net.segments.cover_point(probe)
+                # pick the landing point up front so the measured region
+                # is the neighbourhood the join really touches
+                if selector is not None:
+                    point = float(selector(net, rng))
+                else:
+                    point = float(rng.random())
+                owner = net.segments.cover_point(point)
                 region = [owner] + net.neighbor_points(owner)
-                affected_before = {q: frozenset(net.neighbor_points(q)) for q in region}
-                new_srv = net.join(point=probe if selector is None else None,
-                                   selector=selector)
+                affected_before = {q: frozenset(net.neighbor_points(q))
+                                   for q in region}
+                net.join(point=point)
             else:
-                new_srv = net.join(selector=selector)
+                net.join(selector=selector)
         else:
             pts = list(net.points())
             victim = pts[op.victim % len(pts)]
             if measure:
                 region = [victim] + net.neighbor_points(victim)
-                affected_before = {q: frozenset(net.neighbor_points(q)) for q in region}
+                affected_before = {q: frozenset(net.neighbor_points(q))
+                                   for q in region}
             net.leave(victim)
         if measure:
             touched = 0
@@ -137,6 +149,8 @@ def run_churn(
             report.touched_per_op.append(touched)
             if net.n >= 2:
                 report.smoothness_series.append(net.smoothness())
+        if on_op is not None:
+            on_op(step, op)
         step += 1
     report.final_n = net.n
     if net.n >= 2:

@@ -112,3 +112,97 @@ class TestParityAtScale:
         bound = np.log2(net.n) + np.log2(net.smoothness()) + 1
         assert batch.t.max() <= bound + 1e-9
         assert (batch.hops <= batch.t).all()
+
+
+def _apply_random_churn(net, rng, steps, leave_prob, refresh=None):
+    """Random join/leave interleaving; optionally re-sync after each op."""
+    for _ in range(steps):
+        if rng.random() < leave_prob and net.n > 1:
+            pts = list(net.points())
+            net.leave(pts[int(rng.integers(len(pts)))])
+        else:
+            net.join(float(rng.random()))
+        if refresh is not None:
+            refresh()
+
+
+def _assert_router_equals_fresh(net, router, seed):
+    """The incrementally maintained router is bit-identical to a fresh
+    compile — arrays, adjacency keys, and both lookup algorithms."""
+    fresh = net.compile_router(with_adjacency=True)
+    assert router.n == fresh.n == net.n
+    assert np.array_equal(router.points, fresh.points)
+    assert np.array_equal(router.seg_start, fresh.seg_start)
+    assert np.array_equal(router.seg_end, fresh.seg_end)
+    assert np.array_equal(router.midpoints, fresh.midpoints)
+    if router._edge_keys is None:
+        router._build_adjacency()
+    assert np.array_equal(router._edge_keys, fresh._edge_keys)
+
+    route = np.random.default_rng(seed)
+    size = 64
+    pts = net.segments.as_array()
+    src = pts[route.integers(0, net.n, size=size)]
+    tgt = route.random(size)
+    a = router.batch_fast_lookup(src, tgt)
+    b = fresh.batch_fast_lookup(src, tgt)
+    assert np.array_equal(a.owner_idx, b.owner_idx)
+    assert np.array_equal(a.t, b.t)
+    assert np.array_equal(a.hops, b.hops)
+    tau = route.integers(0, net.delta, size=(size, 64))
+    a = router.batch_dh_lookup(src, tgt, tau=tau)
+    b = fresh.batch_dh_lookup(src, tgt, tau=tau)
+    assert np.array_equal(a.owner_idx, b.owner_idx)
+    assert np.array_equal(a.t, b.t)
+    assert np.array_equal(a.hops, b.hops)
+    assert np.array_equal(a.phase1_hops, b.phase1_hops)
+
+
+class TestIncrementalRefreshParity:
+    """ISSUE 3: after *any* interleaving of joins and leaves, the
+    incrementally maintained auto-refresh router must be bit-identical
+    to a from-scratch ``compile_router()`` — sorted arrays, adjacency
+    keys, and the results of both batch lookup algorithms."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           steps=st.integers(min_value=1, max_value=48),
+           leave_prob=st.floats(min_value=0.0, max_value=0.9))
+    def test_any_interleaving_matches_fresh_compile(self, seed, steps,
+                                                    leave_prob):
+        rng = np.random.default_rng(seed)
+        net = DistanceHalvingNetwork(rng=rng)
+        net.populate(24)
+        router = net.router(auto_refresh=True, with_adjacency=True,
+                            churn_budget=10**9)
+        _apply_random_churn(net, rng, steps, leave_prob)
+        router.refresh()
+        _assert_router_equals_fresh(net, router, seed)
+
+    def test_per_op_refresh_long_trace(self):
+        """300 ops re-synced one at a time, checked at every 50th op."""
+        rng = np.random.default_rng(777)
+        net = DistanceHalvingNetwork(rng=rng)
+        net.populate(256)
+        router = net.router(auto_refresh=True, with_adjacency=True,
+                            churn_budget=10**9)
+        for chunk in range(6):
+            _apply_random_churn(net, rng, 50, 0.45,
+                                refresh=lambda: router.refresh())
+            _assert_router_equals_fresh(net, router, 7000 + chunk)
+        assert router.refresh_stats.incremental == 300
+        assert router.refresh_stats.full_rebuilds == 0
+
+    def test_mass_departure_trace_matches_fresh_compile(self):
+        """The §4.1 stress (half the servers leave) through run_churn."""
+        from repro.sim.churn import ChurnTrace, run_churn
+
+        rng = np.random.default_rng(31337)
+        net = DistanceHalvingNetwork(rng=rng)
+        net.populate(64)
+        router = net.router(auto_refresh=True, with_adjacency=True,
+                            churn_budget=10**9)
+        trace = ChurnTrace.mass_departure(rng, n=64, fraction=0.5)
+        run_churn(net, trace, rng, on_op=lambda s, o: router.refresh())
+        assert router.refresh_stats.full_rebuilds == 0
+        _assert_router_equals_fresh(net, router, 999)

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core import DistanceHalvingNetwork
 from repro.sim import (
+    ChurnOp,
     ChurnTrace,
     bit_reversal_permutation,
     log_slope,
@@ -94,6 +95,116 @@ class TestChurn:
         # bounded by the degree bound ρ+4 + ⌈2ρ⌉+1 + ring ≈ O(ρ)
         assert report.max_touched() <= 40
         assert report.mean_touched() <= 15
+
+    def test_on_op_hook_sees_every_operation(self):
+        rng = np.random.default_rng(8)
+        net = DistanceHalvingNetwork(rng=rng)
+        trace = ChurnTrace.generate(rng, steps=40, leave_prob=0.3)
+        seen = []
+        run_churn(net, trace, rng, on_op=lambda step, op: seen.append((step, op.kind)))
+        assert len(seen) == len(trace.ops)
+        assert [s for s, _ in seen] == list(range(len(trace.ops)))
+        assert {k for _, k in seen} <= {"join", "leave"}
+
+
+class TestMeasuredRegionFollowsSelector:
+    """Regression: with a selector, the measured affected region must be
+    the neighbourhood of the point the join actually lands on — not a
+    throwaway uniform probe's neighbourhood (the old bug)."""
+
+    POINTS = [0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 0.55, 0.6, 0.9, 0.95]
+    LANDING = 0.93
+
+    @staticmethod
+    def _build(points):
+        net = DistanceHalvingNetwork(rng=np.random.default_rng(0))
+        for p in points:
+            net.join(p)
+        return net
+
+    def _oracle_touched(self):
+        """Touched count computed around the actual landing point."""
+        net = self._build(self.POINTS)
+        owner = net.segments.cover_point(self.LANDING)
+        region = [owner] + net.neighbor_points(owner)
+        before = {q: frozenset(net.neighbor_points(q)) for q in region}
+        net.join(point=self.LANDING)
+        return sum(
+            1 for q, b in before.items()
+            if q not in net.servers or frozenset(net.neighbor_points(q)) != b
+        )
+
+    def test_touched_measured_around_actual_join_point(self):
+        net = self._build(self.POINTS)
+        selector = lambda _net, _rng: self.LANDING  # noqa: E731
+        trace = ChurnTrace(ops=[ChurnOp("join")])
+        report = run_churn(net, trace, np.random.default_rng(123),
+                           selector=selector, sample_every=1)
+        assert self.LANDING in net.servers  # the selector chose the id
+        assert report.touched_per_op == [self._oracle_touched()]
+
+    def test_selector_receives_driver_rng(self):
+        net = self._build(self.POINTS)
+        calls = []
+
+        def selector(net_arg, rng_arg):
+            calls.append((net_arg, rng_arg))
+            return float(rng_arg.random())
+
+        trace = ChurnTrace(ops=[ChurnOp("join")])
+        rng = np.random.default_rng(55)
+        expected = float(np.random.default_rng(55).random())
+        run_churn(net, trace, rng, selector=selector, sample_every=1)
+        assert len(calls) == 1 and calls[0][0] is net
+        assert expected in (float(p) for p in net.points())
+
+
+class TestChurnReproducibility:
+    """Identical seeds must yield identical traces and pinned statistics
+    (the bit-reproducibility contract every experiment relies on)."""
+
+    def test_generate_identical_across_invocations(self):
+        a = ChurnTrace.generate(np.random.default_rng(42), steps=300,
+                                leave_prob=0.4, warmup=8)
+        b = ChurnTrace.generate(np.random.default_rng(42), steps=300,
+                                leave_prob=0.4, warmup=8)
+        assert a.ops == b.ops
+        c = ChurnTrace.generate(np.random.default_rng(43), steps=300,
+                                leave_prob=0.4, warmup=8)
+        assert a.ops != c.ops
+
+    def test_mass_departure_identical_across_invocations(self):
+        a = ChurnTrace.mass_departure(np.random.default_rng(9), n=200,
+                                      fraction=0.5)
+        b = ChurnTrace.mass_departure(np.random.default_rng(9), n=200,
+                                      fraction=0.5)
+        assert a.ops == b.ops
+        assert sum(op.kind == "leave" for op in a.ops) == 100
+
+    @staticmethod
+    def _pinned_run():
+        rng = np.random.default_rng(2026)
+        net = DistanceHalvingNetwork(rng=rng)
+        trace = ChurnTrace.generate(rng, steps=200, leave_prob=0.35,
+                                    warmup=32)
+        return run_churn(net, trace, rng, sample_every=4)
+
+    def test_report_statistics_pinned_for_fixed_seed(self):
+        report = self._pinned_run()
+        assert report.final_n == 100
+        assert len(report.touched_per_op) == 57
+        assert report.touched_per_op[:10] == [4, 3, 12, 4, 11, 6, 5, 5, 5, 6]
+        assert report.max_touched() == 21
+        assert report.mean_touched() == pytest.approx(7.631578947368421,
+                                                      rel=1e-12)
+        assert report.final_smoothness() == pytest.approx(224.93698544694962,
+                                                          rel=1e-12)
+
+    def test_report_identical_across_invocations(self):
+        a, b = self._pinned_run(), self._pinned_run()
+        assert a.touched_per_op == b.touched_per_op
+        assert a.smoothness_series == b.smoothness_series
+        assert a.final_n == b.final_n
 
 
 class TestMetrics:
