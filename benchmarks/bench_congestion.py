@@ -1,37 +1,119 @@
-"""Benchmarks for congestion measurement (experiment E4; Thm 2.7/2.9)."""
+"""Benchmarks for congestion accounting (experiment E4; Thm 2.7/2.9).
+
+Kernels: routing + CSR accounting of a whole batch (one ``np.bincount``
+over the flattened ``path_servers``) vs the scalar per-lookup
+``Counter`` loop, plus the cross-snapshot accumulator merge.  The
+headline test asserts the batch path routes-and-accounts **≥10x** more
+lookups/sec than the scalar loop at n=16384 while the two accountings
+stay bit-identical on a shared subsample — the CSR path-accounting
+milestone.
+"""
 
 import math
 
 import numpy as np
 
-from repro.core import CongestionCounter, dh_lookup, fast_lookup
+from repro.core import (
+    BatchCongestion,
+    CongestionCounter,
+    dh_lookup,
+    fast_lookup,
+)
+from repro.experiments.congestion import measure_congestion
 
 
-def test_congestion_batch_kernel(benchmark, balanced_net_512, route_rng):
-    """Routing + accounting for a batch of 64 random lookups."""
+def test_csr_accounting_kernel(benchmark, balanced_net_512, route_rng):
+    """Route 10k lookups and account them with one bincount."""
+    router = balanced_net_512.router(auto_refresh=True)
+    pts = balanced_net_512.segments.as_array()
+    src = pts[route_rng.integers(0, balanced_net_512.n, size=10_000)]
+    tgt = route_rng.random(10_000)
+
+    def run():
+        counter = BatchCongestion()
+        counter.record_batch(
+            router.batch_fast_lookup(src, tgt, keep_paths="csr"))
+        return counter
+
+    counter = benchmark(run)
+    assert counter.lookups == 10_000
+    assert counter.max_load() > 0
+
+
+def test_scalar_accounting_baseline(benchmark, balanced_net_512, route_rng):
+    """The per-lookup loop the CSR spine replaces (64 random lookups)."""
     pts = list(balanced_net_512.points())
 
     def run():
         counter = CongestionCounter()
         for _ in range(64):
             src = pts[int(route_rng.integers(len(pts)))]
-            counter.record(fast_lookup(balanced_net_512, src, float(route_rng.random())))
+            counter.record(fast_lookup(balanced_net_512, src,
+                                       float(route_rng.random())))
         return counter
 
     counter = benchmark(run)
     assert counter.lookups == 64
 
 
+def test_congestion_merge_kernel(benchmark, balanced_net_512, route_rng):
+    """Folding one accounted batch into a running accumulator."""
+    router = balanced_net_512.router(auto_refresh=True)
+    pts = balanced_net_512.segments.as_array()
+    src = pts[route_rng.integers(0, balanced_net_512.n, size=10_000)]
+    batch = BatchCongestion()
+    batch.record_batch(router.batch_fast_lookup(
+        src, route_rng.random(10_000), keep_paths="csr"))
+
+    def run():
+        total = BatchCongestion()
+        total.merge(batch)
+        return total
+
+    total = benchmark(run)
+    assert total.max_load() == batch.max_load()
+
+
 def test_congestion_shape(balanced_net_512, route_rng):
-    """Max congestion ≈ Θ(log n / n) for both algorithms."""
-    n = balanced_net_512.n
-    pts = list(balanced_net_512.points())
-    cf, cd = CongestionCounter(), CongestionCounter()
-    for _ in range(2000):
-        src = pts[int(route_rng.integers(len(pts)))]
-        y = float(route_rng.random())
-        cf.record(fast_lookup(balanced_net_512, src, y))
-        cd.record(dh_lookup(balanced_net_512, src, y, route_rng))
+    """Max congestion ≈ Θ(log n / n) for both algorithms (batch-routed),
+    bit-identical to the scalar counters on the same workload."""
+    net = balanced_net_512
+    n = net.n
+    router = net.router(auto_refresh=True, with_adjacency=True)
+    pts = net.segments.as_array()
+    src = pts[route_rng.integers(0, n, size=2000)]
+    tgt = route_rng.random(2000)
+    tau = route_rng.integers(0, net.delta, size=(2000, 64))
+
+    cf, cd = BatchCongestion(), BatchCongestion()
+    cf.record_batch(router.batch_fast_lookup(src, tgt, keep_paths="csr"))
+    cd.record_batch(router.batch_dh_lookup(src, tgt, tau=tau,
+                                           keep_paths="csr"))
     bound = 12 * math.log2(n) / n
     assert cf.max_congestion() <= bound
     assert cd.max_congestion() <= bound
+
+    scal_f, scal_d = CongestionCounter(), CongestionCounter()
+    for i in range(200):
+        scal_f.record(fast_lookup(net, src[i], tgt[i]))
+        scal_d.record(dh_lookup(net, src[i], tgt[i], None, tau=list(tau[i])))
+    sub_f, sub_d = BatchCongestion(), BatchCongestion()
+    sub_f.record_batch(router.batch_fast_lookup(src[:200], tgt[:200],
+                                                keep_paths="csr"))
+    sub_d.record_batch(router.batch_dh_lookup(src[:200], tgt[:200],
+                                              tau=tau[:200],
+                                              keep_paths="csr"))
+    assert sub_f.summary(n) == scal_f.summary(n)
+    assert sub_d.summary(n) == scal_d.summary(n)
+
+
+def test_congestion_headline_16384():
+    """Acceptance: CSR accounting ≥10x over the scalar loop at n=16384,
+    with bit-identical summaries on the shared subsample."""
+    res = measure_congestion(n=16384, lookups=100_000, scalar_sample=600,
+                             seed=1)
+    assert res["parity_ok"], "batch/scalar accounting summaries diverged"
+    assert res["speedup"] >= 10.0, (
+        f"batch accounting only {res['speedup']:.1f}x over the scalar loop"
+    )
+    assert res["cong_norm"] <= 12.0

@@ -27,6 +27,10 @@ subcommands:
                     lookup batches; reports lookups/sec, incremental
                     refresh cost per membership op, and the refresh
                     speedup over a full compile_router()
+  bench-congestion  route-and-account a random-pair workload with CSR
+                    batch path accounting (BatchCongestion) against the
+                    scalar per-lookup Counter loop; summaries must be
+                    bit-identical on a shared subsample
 
 invocation: PYTHONPATH=src python -m repro.cli <subcommand> [options]
 """
@@ -91,6 +95,38 @@ def _bench_churn(args) -> int:
         f"[{verdict}] owners fresh and incremental refresh ≥ "
         f"{args.min_refresh_speedup:g}x over full compile"
     )
+    return 0 if ok else 1
+
+
+def _bench_congestion(args) -> int:
+    from .experiments.congestion import (
+        format_congestion_report,
+        measure_congestion,
+    )
+
+    if args.n < 2 or args.lookups < 1 or args.scalar_sample < 1:
+        print(
+            "bench-congestion: --n must be >= 2; --lookups and "
+            "--scalar-sample must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.delta < 2:
+        print("bench-congestion: --delta must be >= 2", file=sys.stderr)
+        return 2
+
+    result = measure_congestion(
+        n=args.n,
+        lookups=args.lookups,
+        seed=args.seed,
+        scalar_sample=args.scalar_sample,
+        algorithm=args.algorithm,
+        delta=args.delta,
+    )
+    print(format_congestion_report(result))
+    ok = result["parity_ok"] and result["speedup"] >= args.min_speedup
+    verdict = "PASS" if ok else "FAIL"
+    print(f"[{verdict}] accounting parity and speedup ≥ {args.min_speedup:g}x")
     return 0 if ok else 1
 
 
@@ -183,6 +219,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         "least this much faster than a full compile_router()",
     )
 
+    congp = sub.add_parser(
+        "bench-congestion",
+        help="CSR batch path accounting vs the scalar Counter loop "
+        "(bit-identical summaries)",
+    )
+    congp.add_argument("--n", type=int, default=16384, help="network size")
+    congp.add_argument(
+        "--lookups", type=int, default=100_000, help="batch workload size"
+    )
+    congp.add_argument(
+        "--scalar-sample",
+        type=int,
+        default=1000,
+        help="lookups routed+accounted through the scalar baseline (its "
+        "summary must match the batch accounting bit-for-bit)",
+    )
+    congp.add_argument(
+        "--algorithm",
+        choices=("fast", "dh"),
+        default="fast",
+        help="fast (greedy, §2.2.1) or dh (two-phase, §2.2.2)",
+    )
+    congp.add_argument("--delta", type=int, default=2, help="graph degree Δ")
+    congp.add_argument("--seed", type=int, default=0)
+    congp.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="exit non-zero when batch route-and-account is slower than "
+        "this factor over the scalar loop",
+    )
+
     args = parser.parse_args(argv)
 
     from .experiments.common import all_experiments
@@ -197,6 +265,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench_throughput(args)
     if args.command == "bench-churn":
         return _bench_churn(args)
+    if args.command == "bench-congestion":
+        return _bench_congestion(args)
 
     names = args.names
     lowered = [n.lower() for n in names]

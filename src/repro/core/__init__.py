@@ -34,12 +34,13 @@ from .lookup import (
 from .network import DistanceHalvingNetwork
 from .node import Server
 from .pathtree import PathTree
-from .routing_stats import CongestionCounter, path_lengths
+from .routing_stats import BatchCongestion, CongestionCounter, path_lengths
 from .segments import SegmentMap
 
 __all__ = [
     "ActiveTree",
     "Arc",
+    "BatchCongestion",
     "BatchLookupResult",
     "BatchRouter",
     "CacheSystem",

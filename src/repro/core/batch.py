@@ -77,6 +77,44 @@ def _isin_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
     return (pos < len(table)) & (table[pos_c] == values)
 
 
+def _check_keep_paths(keep_paths) -> None:
+    """Reject anything but the three supported path-recording modes."""
+    if keep_paths not in (False, True, "csr"):
+        raise ValueError(
+            f"keep_paths must be False, True, or 'csr'; got {keep_paths!r}"
+        )
+
+
+def _levels_to_csr(size: int, level_mats) -> tuple:
+    """Flatten per-level server matrices into CSR path arrays.
+
+    ``level_mats`` lists ``(levels × size)`` int matrices whose rows are
+    in path order for every lookup (column); ``-1`` marks "no server
+    recorded at this level".  The result is the vectorized equivalent of
+    running :func:`~repro.core.lookup.compress_path` per column: lookup
+    ``i``'s compressed server-index path is
+    ``path_servers[path_offsets[i]:path_offsets[i + 1]]``.
+
+    One transpose + ``flatnonzero`` + shifted-compare does the whole
+    batch — no per-lookup Python loop.
+    """
+    offsets = np.zeros(size + 1, dtype=np.int64)
+    mats = [m for m in level_mats if m is not None and m.size]
+    if not mats or size == 0:
+        return np.zeros(0, dtype=np.int32), offsets
+    stacked = np.concatenate(mats, axis=0)
+    depth = stacked.shape[0]
+    flat = stacked.T.ravel()  # lookup-major; rows keep path order inside
+    at = np.flatnonzero(flat >= 0)
+    vals = flat[at]
+    lane = at // depth
+    keep = np.ones(vals.size, dtype=bool)
+    if vals.size > 1:
+        keep[1:] = (vals[1:] != vals[:-1]) | (lane[1:] != lane[:-1])
+    np.cumsum(np.bincount(lane[keep], minlength=size), out=offsets[1:])
+    return vals[keep].astype(np.int32), offsets
+
+
 @dataclass
 class RouterRefreshStats:
     """Cumulative accounting of a router's re-sync work.
@@ -114,10 +152,26 @@ class BatchLookupResult:
     Mirrors :class:`repro.core.lookup.LookupResult` field-for-field, but
     every per-lookup quantity is a NumPy array of length ``size``.
     ``owner_idx``/``source_idx`` index into ``points`` (the router's
-    sorted id vector).  When the batch was routed with
-    ``keep_paths=True``, :meth:`server_path` reconstructs the exact
-    compressed server path of any single lookup for cross-checking
-    against the scalar engine.
+    sorted id vector).
+
+    Paths come in two representations, chosen by the ``keep_paths``
+    argument of the batch calls:
+
+    * ``keep_paths=True`` keeps the internal per-level matrices and
+      :meth:`server_path` reconstructs the compressed server path of any
+      single lookup for cross-checking against the scalar engine;
+    * ``keep_paths="csr"`` flattens all paths into two arrays —
+      ``path_servers`` (``int32``, one entry per path segment, indices
+      into ``points``) and ``path_offsets`` (``int64``, length
+      ``size + 1``) — the storage the vectorized accounting layer
+      (:class:`~repro.core.routing_stats.BatchCongestion`) consumes with
+      one ``np.bincount`` per batch.  Lookup ``i``'s path is
+      ``path_servers[path_offsets[i]:path_offsets[i + 1]]``; decode to
+      id points with :meth:`path_points`.
+
+    :meth:`to_csr` converts lazily from the first representation to the
+    second (the two are lossless re-encodings of each other and of the
+    scalar ``LookupResult.server_path``).
     """
 
     algorithm: str
@@ -129,6 +183,9 @@ class BatchLookupResult:
     t: np.ndarray
     hops: np.ndarray
     phase1_hops: Optional[np.ndarray] = None
+    # CSR path representation (filled by keep_paths="csr" or to_csr())
+    path_servers: Optional[np.ndarray] = None
+    path_offsets: Optional[np.ndarray] = None
     # internal path matrices (levels × size); -1 marks "no server recorded"
     _phase1_levels: Optional[np.ndarray] = field(default=None, repr=False)
     _phase2_levels: Optional[np.ndarray] = field(default=None, repr=False)
@@ -144,7 +201,33 @@ class BatchLookupResult:
 
     @property
     def keeps_paths(self) -> bool:
-        return self._phase2_levels is not None
+        return self._phase2_levels is not None or self.path_servers is not None
+
+    def to_csr(self) -> tuple:
+        """The ``(path_servers, path_offsets)`` CSR arrays (cached).
+
+        Requires the batch to have been routed with paths
+        (``keep_paths=True`` or ``"csr"``); with ``True`` the conversion
+        happens on first call and is cached on the result.
+        """
+        if self.path_servers is None:
+            if self._phase2_levels is None:
+                raise ValueError("batch was routed with keep_paths=False")
+            # phase-2 rows are indexed by level j and read backwards
+            # (j = t_i .. 0), hence the reversal before stacking
+            self.path_servers, self.path_offsets = _levels_to_csr(
+                self.size, [self._phase1_levels, self._phase2_levels[::-1]]
+            )
+        return self.path_servers, self.path_offsets
+
+    def path_points(self, i: int) -> np.ndarray:
+        """Id points of lookup ``i``'s compressed server path (CSR decode)."""
+        servers, offsets = self.to_csr()
+        return self.points[servers[offsets[i]:offsets[i + 1]]]
+
+    def path_lengths(self) -> np.ndarray:
+        """Servers on each compressed path; the hop count is this minus 1."""
+        return np.diff(self.to_csr()[1])
 
     def server_path(self, i: int) -> List[float]:
         """Compressed server path of lookup ``i`` (requires ``keep_paths``).
@@ -153,6 +236,9 @@ class BatchLookupResult:
         for the same (source, target) — the parity tests compare them
         element-wise.
         """
+        if self.path_servers is not None:
+            lo, hi = self.path_offsets[i], self.path_offsets[i + 1]
+            return [float(self.points[k]) for k in self.path_servers[lo:hi]]
         if not self.keeps_paths:
             raise ValueError("batch was routed with keep_paths=False")
         seq: List[int] = []
@@ -483,7 +569,7 @@ class BatchRouter:
         self,
         sources,
         targets,
-        keep_paths: bool = False,
+        keep_paths: "bool | str" = False,
         max_levels: int = MAX_WALK_STEPS,
     ) -> BatchLookupResult:
         """Vectorized Fast (greedy) Lookup (§2.2.1) for a batch of pairs.
@@ -493,7 +579,11 @@ class BatchRouter:
         ``fast_lookup(net, source_point, target)``.  One routing level
         costs one closed-form walk evaluation plus one ``searchsorted``
         over the whole batch; per Corollary 2.5 at most
-        ``log_Δ n + log_Δ ρ + 1`` levels run.
+        ``log_Δ n + log_Δ ρ + 1`` levels run.  ``keep_paths`` selects the
+        path representation: ``True`` for per-lookup reconstruction via
+        :meth:`BatchLookupResult.server_path`, ``"csr"`` for the
+        flattened ``path_servers``/``path_offsets`` arrays the
+        vectorized accounting layer consumes.
 
         For power-of-two ``Δ`` the ``Δ^t`` scaling is exact in float64 at
         every level, so the level budget is the scalar engine's
@@ -504,6 +594,7 @@ class BatchRouter:
         ``RuntimeError`` rather than silently diverging from the
         (integer-exact) scalar engine.
         """
+        _check_keep_paths(keep_paths)
         self._ensure_fresh()
         y = _normalize_array(targets)
         src = _normalize_array(sources, size=y.size)
@@ -557,7 +648,7 @@ class BatchRouter:
             cur = np.where(live, c, cur)
             if back is not None:
                 back[j, live] = c[live]
-        return BatchLookupResult(
+        result = BatchLookupResult(
             algorithm="fast",
             points=self.points,
             targets=y,
@@ -568,6 +659,10 @@ class BatchRouter:
             hops=hops,
             _phase2_levels=back,
         )
+        if keep_paths == "csr":
+            result.to_csr()
+            result._phase2_levels = None  # CSR replaces the level matrices
+        return result
 
     # ------------------------------------------------------------ dh lookup
     def batch_dh_lookup(
@@ -576,7 +671,7 @@ class BatchRouter:
         targets,
         rng: Optional[np.random.Generator] = None,
         tau: Optional[np.ndarray] = None,
-        keep_paths: bool = False,
+        keep_paths: "bool | str" = False,
         max_steps: int = MAX_WALK_STEPS,
     ) -> BatchLookupResult:
         """Vectorized two-phase Distance Halving Lookup (§2.2.2).
@@ -594,8 +689,10 @@ class BatchRouter:
         result is bit-identical to scalar ``dh_lookup``.  With ``rng``
         the *distribution* matches but digits are drawn batch-wise, so
         individual paths differ from a scalar replay of the same
-        generator.
+        generator.  ``keep_paths`` behaves as in
+        :meth:`batch_fast_lookup` (``"csr"`` for flattened paths).
         """
+        _check_keep_paths(keep_paths)
         self._ensure_fresh()
         y = _normalize_array(targets)
         src = _normalize_array(sources, size=y.size)
@@ -691,7 +788,7 @@ class BatchRouter:
             last = np.where(live, c, last)
             if back is not None:
                 back[j, live] = c[live]
-        return BatchLookupResult(
+        result = BatchLookupResult(
             algorithm="dh",
             points=self.points,
             targets=y,
@@ -704,3 +801,8 @@ class BatchRouter:
             _phase1_levels=np.vstack(p1_rows) if keep_paths else None,
             _phase2_levels=back,
         )
+        if keep_paths == "csr":
+            result.to_csr()
+            result._phase1_levels = None  # CSR replaces the level matrices
+            result._phase2_levels = None
+        return result

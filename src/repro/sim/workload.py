@@ -1,4 +1,4 @@
-"""Request workload generators for the experiments.
+"""Request workload generators and the batch lookup driver.
 
 Each generator is a deterministic function of its RNG, covering the
 demand patterns the paper analyses:
@@ -7,6 +7,13 @@ demand patterns the paper analyses:
 * permutations, incl. the bit-reversal worst case (Theorem 2.10);
 * hashed distinct items (Theorem 2.11);
 * single/multiple hot spots with Zipf or adversarial skew (§3).
+
+:func:`route_pairs` is the vectorized driver the experiments feed those
+workloads through: it routes a whole pair list as **one** batch over a
+``net.router(auto_refresh=True)`` handle with CSR path accounting,
+optionally booking the batch straight into a
+:class:`~repro.core.routing_stats.BatchCongestion` accumulator — the
+replacement for the per-lookup scalar loops E4/E5 used to run.
 """
 
 from __future__ import annotations
@@ -26,7 +33,75 @@ __all__ = [
     "zipf_demands",
     "single_hotspot_demands",
     "adversarial_point_demands",
+    "pairs_to_arrays",
+    "route_pairs",
+    "DH_TAU_DIGITS",
 ]
+
+#: Digits per lookup for explicit-tau Distance Halving batches — far
+#: beyond the Theorem 2.8 walk length at any size the experiments route
+#: (the engine raises "tau exhausted" if a walk ever outruns it).
+DH_TAU_DIGITS = 64
+
+
+def pairs_to_arrays(pairs) -> Tuple[np.ndarray, np.ndarray]:
+    """``(sources, targets)`` float arrays of a workload.
+
+    A *tuple* input is always the already-split ``(sources, targets)``
+    form (two equal-length 1-D arrays); any other sequence is a
+    generator's list of ``(source, target)`` pairs.  The type-based rule
+    keeps a split pair of plain lists from being mistaken for two
+    routed pairs.
+    """
+    if isinstance(pairs, tuple):
+        if len(pairs) != 2:
+            raise ValueError("split form must be a (sources, targets) 2-tuple")
+        src = np.asarray(pairs[0], dtype=np.float64)
+        tgt = np.asarray(pairs[1], dtype=np.float64)
+        if src.ndim != 1 or tgt.ndim != 1 or src.size != tgt.size:
+            raise ValueError(
+                "split (sources, targets) must be equal-length 1-D arrays"
+            )
+        return src, tgt
+    if len(pairs) == 0:
+        return np.zeros(0), np.zeros(0)
+    arr = np.asarray(pairs, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("pairs must be (source, target) tuples")
+    return arr[:, 0].copy(), arr[:, 1].copy()
+
+
+def route_pairs(
+    router,
+    pairs,
+    algorithm: str = "fast",
+    rng: "np.random.Generator | None" = None,
+    tau: "np.ndarray | None" = None,
+    congestion=None,
+    keep_paths="csr",
+):
+    """Route a whole workload through a batch router in one call.
+
+    The vectorized lookup driver of the experiments: converts a
+    generator's pair list (or a prebuilt array pair) with
+    :func:`pairs_to_arrays`, routes it with the requested §2.2 algorithm
+    — CSR path accounting by default — and, when ``congestion`` (a
+    :class:`~repro.core.routing_stats.BatchCongestion`) is given, books
+    the batch into it.  Returns the
+    :class:`~repro.core.batch.BatchLookupResult`.
+    """
+    sources, targets = pairs_to_arrays(pairs)
+    if algorithm == "fast":
+        res = router.batch_fast_lookup(sources, targets,
+                                       keep_paths=keep_paths)
+    elif algorithm == "dh":
+        res = router.batch_dh_lookup(sources, targets, rng=rng, tau=tau,
+                                     keep_paths=keep_paths)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}; use 'fast' or 'dh'")
+    if congestion is not None:
+        congestion.record_batch(res)
+    return res
 
 
 def uniform_points(rng: np.random.Generator, count: int) -> np.ndarray:

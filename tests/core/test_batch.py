@@ -209,6 +209,84 @@ class TestBatchDHLookup:
         assert (res.hops == 0).all() and (res.t == 0).all()
 
 
+class TestCsrPaths:
+    """Unit contract of the CSR path representation (keep_paths='csr')."""
+
+    def test_csr_paths_match_object_paths(self):
+        net, _ = make_net(32, seed=70)
+        router = net.compile_router()
+        src, tgt = workload(net, 100, 71)
+        obj = router.batch_fast_lookup(src, tgt, keep_paths=True)
+        csr = router.batch_fast_lookup(src, tgt, keep_paths="csr")
+        for i in range(100):
+            assert obj.server_path(i) == csr.server_path(i)
+
+    def test_csr_mode_drops_level_matrices(self):
+        net, _ = make_net(16, seed=72)
+        router = net.compile_router()
+        res = router.batch_fast_lookup(np.array([0.1]), np.array([0.7]),
+                                       keep_paths="csr")
+        assert res._phase2_levels is None
+        assert res.keeps_paths
+        assert res.path_servers is not None
+
+    def test_path_lengths_are_hops_plus_one(self):
+        net, _ = make_net(64, seed=73)
+        router = net.compile_router()
+        src, tgt = workload(net, 80, 74)
+        res = router.batch_fast_lookup(src, tgt, keep_paths="csr")
+        assert np.array_equal(res.path_lengths(), res.hops + 1)
+
+    def test_path_points_decode(self):
+        net, _ = make_net(24, seed=75)
+        router = net.compile_router()
+        src, tgt = workload(net, 40, 76)
+        res = router.batch_fast_lookup(src, tgt, keep_paths="csr")
+        for i in (0, 17, 39):
+            pts = res.path_points(i)
+            assert pts.tolist() == res.server_path(i)
+            assert pts[0] == res.points[res.source_idx[i]]
+
+    def test_to_csr_requires_paths(self):
+        net, _ = make_net(8, seed=77)
+        router = net.compile_router()
+        res = router.batch_fast_lookup(np.array([0.1]), np.array([0.5]))
+        with pytest.raises(ValueError, match="keep_paths"):
+            res.to_csr()
+        with pytest.raises(ValueError, match="keep_paths"):
+            res.path_lengths()
+
+    def test_invalid_keep_paths_rejected(self):
+        net, _ = make_net(8, seed=78)
+        router = net.compile_router(with_adjacency=True)
+        with pytest.raises(ValueError, match="keep_paths"):
+            router.batch_fast_lookup(np.array([0.1]), np.array([0.5]),
+                                     keep_paths="objects")
+        with pytest.raises(ValueError, match="keep_paths"):
+            router.batch_dh_lookup(np.array([0.1]), np.array([0.5]),
+                                   rng=np.random.default_rng(0),
+                                   keep_paths="objects")
+
+    def test_dh_csr_covers_both_phases(self):
+        net, _ = make_net(64, seed=79)
+        router = net.compile_router(with_adjacency=True)
+        src, tgt = workload(net, 60, 80)
+        tau = np.random.default_rng(81).integers(0, 2, size=(60, 64))
+        res = router.batch_dh_lookup(src, tgt, tau=tau, keep_paths="csr")
+        scalar = lookup_many(net, src, tgt, algorithm="dh",
+                             taus=[list(row) for row in tau])
+        for i, r in enumerate(scalar):
+            assert r.server_path == res.server_path(i)
+
+    def test_empty_batch_yields_empty_csr(self):
+        net, _ = make_net(8, seed=82)
+        router = net.compile_router()
+        res = router.batch_fast_lookup(np.zeros(0), np.zeros(0),
+                                       keep_paths="csr")
+        assert res.path_servers.size == 0
+        assert res.path_offsets.tolist() == [0]
+
+
 class TestLookupMany:
     def test_fast_matches_individual_calls(self):
         net, _ = make_net(32, seed=60)

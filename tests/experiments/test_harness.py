@@ -71,6 +71,14 @@ class TestQuickRuns:
         res = get_experiment("E3")(quick=True)
         assert res.passed, res.render()
 
+    def test_congestion_passes(self):
+        res = get_experiment("E4")(quick=True)
+        assert res.passed, res.render()
+
+    def test_permutation_passes(self):
+        res = get_experiment("E5")(quick=True)
+        assert res.passed, res.render()
+
     def test_emulation_passes(self):
         res = get_experiment("E15")(quick=True)
         assert res.passed, res.render()

@@ -114,6 +114,94 @@ class TestParityAtScale:
         assert (batch.hops <= batch.t).all()
 
 
+class TestCsrLosslessEncoding:
+    """ISSUE 4: the flattened CSR path arrays (``keep_paths="csr"``) are
+    a lossless re-encoding of the scalar ``LookupResult.server_path``
+    for both algorithms — and of the object-path reconstruction the
+    batch engine already had."""
+
+    @pytest.mark.parametrize("n,count", [(16, 300), (256, 300)])
+    def test_fast_csr_equals_scalar_paths(self, n, count):
+        net, router = net_and_router(n)
+        route = np.random.default_rng(5000 + n)
+        pts = net.segments.as_array()
+        src = pts[route.integers(0, n, size=count)]
+        tgt = route.random(count)
+        batch = router.batch_fast_lookup(src, tgt, keep_paths="csr")
+        assert batch.path_servers.dtype == np.int32
+        assert batch.path_offsets.dtype == np.int64
+        assert (np.diff(batch.path_offsets) >= 1).all()
+        assert np.array_equal(batch.path_lengths() - 1, batch.hops)
+        for i, r in enumerate(lookup_many(net, src, tgt)):
+            assert r.server_path == batch.server_path(i)
+            assert r.server_path == batch.path_points(i).tolist()
+
+    @pytest.mark.parametrize("n,count", [(16, 150), (256, 150)])
+    def test_dh_csr_equals_scalar_paths(self, n, count):
+        net, router = net_and_router(n)
+        route = np.random.default_rng(6000 + n)
+        pts = net.segments.as_array()
+        src = pts[route.integers(0, n, size=count)]
+        tgt = route.random(count)
+        tau = route.integers(0, 2, size=(count, 80))
+        batch = router.batch_dh_lookup(src, tgt, tau=tau, keep_paths="csr")
+        assert np.array_equal(batch.path_lengths() - 1, batch.hops)
+        scalar = lookup_many(net, src, tgt, algorithm="dh",
+                             taus=[list(row) for row in tau])
+        for i, r in enumerate(scalar):
+            assert r.server_path == batch.server_path(i)
+
+    def test_csr_matches_object_path_reconstruction(self):
+        """to_csr() on a keep_paths=True result is the same encoding."""
+        net, router = net_and_router(256)
+        route = np.random.default_rng(42)
+        pts = net.segments.as_array()
+        src = pts[route.integers(0, 256, size=200)]
+        tgt = route.random(200)
+        tau = route.integers(0, 2, size=(200, 80))
+        for algo in ("fast", "dh"):
+            kw = {} if algo == "fast" else {"tau": tau}
+            call = getattr(router, f"batch_{algo}_lookup")
+            obj = call(src, tgt, keep_paths=True, **kw)
+            csr = call(src, tgt, keep_paths="csr", **kw)
+            servers, offsets = obj.to_csr()
+            assert np.array_equal(servers, csr.path_servers)
+            assert np.array_equal(offsets, csr.path_offsets)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           steps=st.integers(min_value=1, max_value=40),
+           leave_prob=st.floats(min_value=0.0, max_value=0.8))
+    def test_csr_lossless_after_churn_interleavings(self, seed, steps,
+                                                    leave_prob):
+        """Joins/leaves replayed through incremental refresh() must not
+        perturb the CSR encoding: paths still match a scalar replay on
+        the live network, for both algorithms."""
+        rng = np.random.default_rng(seed)
+        net = DistanceHalvingNetwork(rng=rng)
+        net.populate(24)
+        router = net.router(auto_refresh=True, with_adjacency=True,
+                            churn_budget=10**9)
+        _apply_random_churn(net, rng, steps, leave_prob,
+                            refresh=lambda: router.refresh())
+        route = np.random.default_rng(seed + 1)
+        size = 32
+        pts = net.segments.as_array()
+        src = pts[route.integers(0, net.n, size=size)]
+        tgt = route.random(size)
+        tau = route.integers(0, net.delta, size=(size, 80))
+        fast = router.batch_fast_lookup(src, tgt, keep_paths="csr")
+        dh = router.batch_dh_lookup(src, tgt, tau=tau, keep_paths="csr")
+        assert np.array_equal(fast.path_lengths() - 1, fast.hops)
+        assert np.array_equal(dh.path_lengths() - 1, dh.hops)
+        for i, r in enumerate(lookup_many(net, src, tgt)):
+            assert r.server_path == fast.server_path(i)
+        scalar = lookup_many(net, src, tgt, algorithm="dh",
+                             taus=[list(row) for row in tau])
+        for i, r in enumerate(scalar):
+            assert r.server_path == dh.server_path(i)
+
+
 def _apply_random_churn(net, rng, steps, leave_prob, refresh=None):
     """Random join/leave interleaving; optionally re-sync after each op."""
     for _ in range(steps):
