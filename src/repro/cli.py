@@ -31,9 +31,40 @@ subcommands:
                     batch path accounting (BatchCongestion) against the
                     scalar per-lookup Counter loop; summaries must be
                     bit-identical on a shared subsample
+  bench-faults      route one fault-sweep cell (random fail-stop plan,
+                    surviving sources) through the vectorized
+                    fault-tolerant batch engine against the scalar
+                    per-hop walk, with a bit-identical choice-driven
+                    replay on a subsample
+
+every bench-* subcommand accepts --json-out FILE to additionally write
+the measurement dict (plus the pass/fail verdict) as machine-readable
+JSON — the artifact CI uploads per run.
 
 invocation: PYTHONPATH=src python -m repro.cli <subcommand> [options]
 """
+
+
+def _write_json_out(path: Optional[str], command: str, result: dict,
+                    ok: bool) -> None:
+    """Dump one bench measurement as a JSON artifact (NumPy-safe)."""
+    if not path:
+        return
+    import json
+    import os
+
+    def _py(value):
+        if hasattr(value, "item"):
+            return value.item()
+        raise TypeError(f"not JSON serializable: {type(value)!r}")
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    payload = {"command": command, "ok": bool(ok), "result": result}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=_py)
+        fh.write("\n")
+    print(f"wrote {path}")
 
 
 def _bench_throughput(args) -> int:
@@ -61,6 +92,7 @@ def _bench_throughput(args) -> int:
     ok = result["parity_ok"] and result["speedup"] >= args.min_speedup
     verdict = "PASS" if ok else "FAIL"
     print(f"[{verdict}] parity and speedup ≥ {args.min_speedup:g}x")
+    _write_json_out(args.json_out, "bench-throughput", result, ok)
     return 0 if ok else 1
 
 
@@ -95,6 +127,7 @@ def _bench_churn(args) -> int:
         f"[{verdict}] owners fresh and incremental refresh ≥ "
         f"{args.min_refresh_speedup:g}x over full compile"
     )
+    _write_json_out(args.json_out, "bench-churn", result, ok)
     return 0 if ok else 1
 
 
@@ -127,6 +160,36 @@ def _bench_congestion(args) -> int:
     ok = result["parity_ok"] and result["speedup"] >= args.min_speedup
     verdict = "PASS" if ok else "FAIL"
     print(f"[{verdict}] accounting parity and speedup ≥ {args.min_speedup:g}x")
+    _write_json_out(args.json_out, "bench-congestion", result, ok)
+    return 0 if ok else 1
+
+
+def _bench_faults(args) -> int:
+    from .experiments.faults_exp import format_faults_report, measure_faults
+
+    if args.n < 8 or args.pairs < 1 or args.scalar_sample < 1:
+        print(
+            "bench-faults: --n must be >= 8; --pairs and --scalar-sample "
+            "must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 <= args.p_fail < 1.0:
+        print("bench-faults: --p-fail must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    result = measure_faults(
+        n=args.n,
+        pairs=args.pairs,
+        p_fail=args.p_fail,
+        seed=args.seed,
+        scalar_sample=args.scalar_sample,
+    )
+    print(format_faults_report(result))
+    ok = result["parity_ok"] and result["speedup"] >= args.min_speedup
+    verdict = "PASS" if ok else "FAIL"
+    print(f"[{verdict}] replay parity and speedup ≥ {args.min_speedup:g}x")
+    _write_json_out(args.json_out, "bench-faults", result, ok)
     return 0 if ok else 1
 
 
@@ -174,6 +237,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=10.0,
         help="exit non-zero when the batch engine is slower than this factor",
     )
+    benchp.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the measurement dict + verdict as JSON",
+    )
 
     churnp = sub.add_parser(
         "bench-churn",
@@ -218,6 +287,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit non-zero when incremental refresh per churn op is not at "
         "least this much faster than a full compile_router()",
     )
+    churnp.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the measurement dict + verdict as JSON",
+    )
 
     congp = sub.add_parser(
         "bench-congestion",
@@ -250,6 +325,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit non-zero when batch route-and-account is slower than "
         "this factor over the scalar loop",
     )
+    congp.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the measurement dict + verdict as JSON",
+    )
+
+    faultp = sub.add_parser(
+        "bench-faults",
+        help="vectorized fault-tolerant batch lookups vs the scalar walk "
+        "(bit-identical choice-driven replay)",
+    )
+    faultp.add_argument("--n", type=int, default=16384, help="network size")
+    faultp.add_argument(
+        "--pairs", type=int, default=100_000,
+        help="(surviving source, target) pairs routed as one batch"
+    )
+    faultp.add_argument(
+        "--p-fail", type=float, default=0.2,
+        help="independent fail-stop probability of the drawn fault plan"
+    )
+    faultp.add_argument(
+        "--scalar-sample",
+        type=int,
+        default=200,
+        help="lookups replayed through the scalar per-hop walk with the "
+        "same choice uniforms (must match bit-for-bit)",
+    )
+    faultp.add_argument("--seed", type=int, default=0)
+    faultp.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="exit non-zero when the batch engine is slower than this factor",
+    )
+    faultp.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the measurement dict + verdict as JSON",
+    )
 
     args = parser.parse_args(argv)
 
@@ -267,6 +383,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench_churn(args)
     if args.command == "bench-congestion":
         return _bench_congestion(args)
+    if args.command == "bench-faults":
+        return _bench_faults(args)
 
     names = args.names
     lowered = [n.lower() for n in names]

@@ -51,7 +51,8 @@ import numpy as np
 from .lookup import MAX_WALK_STEPS, compress_path
 from .segments import cover_indices, fold_unit, normalize_array
 
-__all__ = ["BatchRouter", "BatchLookupResult", "RouterRefreshStats"]
+__all__ = ["BatchRouter", "BatchLookupResult", "RouterRefreshStats",
+           "levels_to_csr"]
 
 #: Fixed row stride of the sorted adjacency keys ``row·STRIDE + col``.
 #: Independent of ``n`` so incremental insertions/deletions only have to
@@ -85,7 +86,7 @@ def _check_keep_paths(keep_paths) -> None:
         )
 
 
-def _levels_to_csr(size: int, level_mats) -> tuple:
+def levels_to_csr(size: int, level_mats) -> tuple:
     """Flatten per-level server matrices into CSR path arrays.
 
     ``level_mats`` lists ``(levels × size)`` int matrices whose rows are
@@ -96,7 +97,10 @@ def _levels_to_csr(size: int, level_mats) -> tuple:
     ``path_servers[path_offsets[i]:path_offsets[i + 1]]``.
 
     One transpose + ``flatnonzero`` + shifted-compare does the whole
-    batch — no per-lookup Python loop.
+    batch — no per-lookup Python loop.  Shared by this module's
+    ``keep_paths`` modes and the fault-tolerant batch engine
+    (:mod:`repro.faults.batch_ft`), whose level matrices use the same
+    convention.
     """
     offsets = np.zeros(size + 1, dtype=np.int64)
     mats = [m for m in level_mats if m is not None and m.size]
@@ -215,7 +219,7 @@ class BatchLookupResult:
                 raise ValueError("batch was routed with keep_paths=False")
             # phase-2 rows are indexed by level j and read backwards
             # (j = t_i .. 0), hence the reversal before stacking
-            self.path_servers, self.path_offsets = _levels_to_csr(
+            self.path_servers, self.path_offsets = levels_to_csr(
                 self.size, [self._phase1_levels, self._phase2_levels[::-1]]
             )
         return self.path_servers, self.path_offsets

@@ -1,5 +1,6 @@
 """Fault-tolerant overlapping DHT and fault models (paper §6)."""
 
+from .batch_ft import FTBatchEngine, FTBatchResult
 from .erasure import ErasureStore, GF256, ReedSolomonCode
 from .lookup_ft import FTLookupResult, canonical_path, resistant_lookup, simple_lookup
 from .models import FaultPlan, random_byzantine, random_failstop
@@ -7,6 +8,8 @@ from .overlap import OverlappingDHNetwork
 
 __all__ = [
     "ErasureStore",
+    "FTBatchEngine",
+    "FTBatchResult",
     "FTLookupResult",
     "GF256",
     "ReedSolomonCode",

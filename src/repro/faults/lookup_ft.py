@@ -81,8 +81,11 @@ def simple_lookup(
     net: OverlappingDHNetwork,
     source: float,
     key: Key,
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator] = None,
     plan: Optional[FaultPlan] = None,
+    *,
+    target: Optional[float] = None,
+    choices: Optional[Sequence[float]] = None,
 ) -> FTLookupResult:
     """Theorem 6.3's Simple Lookup under an optional fault plan.
 
@@ -90,19 +93,36 @@ def simple_lookup(
     the next canonical point.  Fails only if some path point lost all its
     covers — which Claim 6.5 says happens with vanishing probability for
     small fail-stop ``p``.
+
+    ``target`` overrides the item-hash position (the batch sweeps route
+    raw ring points).  ``choices`` fixes the per-hop random selection:
+    hop ``k`` picks alive cover ``⌊choices[k]·|alive|⌋`` instead of
+    drawing from ``rng`` — with the same uniforms the scalar walk is
+    bit-identical to :meth:`repro.faults.batch_ft.FTBatchEngine
+    .batch_simple_lookup`, which is how the parity cross-checks replay
+    sub-workloads.  One of ``rng`` / ``choices`` is required.
     """
     plan = plan if plan is not None else FaultPlan()
-    target = net.item_hash(key)
+    if rng is None and choices is None:
+        raise ValueError("simple_lookup needs an rng or explicit choices")
+    if target is None:
+        target = net.item_hash(key)
     path = canonical_path(net, source, target)
     servers: List[float] = [source]
     messages = 0
-    for point in path[1:]:
+    for hop, point in enumerate(path[1:]):
         alive = net.covers(point, alive=None)
         alive = [s for s in alive if plan.is_alive(s)]
         if not alive:
             return FTLookupResult(False, path_points=path, servers=servers,
                                   messages=messages, parallel_time=len(servers) - 1)
-        nxt = alive[int(rng.integers(len(alive)))]
+        if choices is not None:
+            if hop >= len(choices):
+                raise ValueError("supplied choices exhausted before lookup finished")
+            pick = min(int(choices[hop] * len(alive)), len(alive) - 1)
+        else:
+            pick = int(rng.integers(len(alive)))
+        nxt = alive[pick]
         if nxt != servers[-1]:
             messages += 1
         servers.append(nxt)
@@ -118,6 +138,8 @@ def resistant_lookup(
     source: float,
     key: Key,
     plan: Optional[FaultPlan] = None,
+    *,
+    target: Optional[float] = None,
 ) -> FTLookupResult:
     """Theorem 6.6's false-message-resistant lookup.
 
@@ -127,10 +149,14 @@ def resistant_lookup(
     majority of the replica group's answers.
 
     Returns message complexity (Σ |S_k|·|S_{k+1}| over alive pairs — the
-    O(log³ n) of the theorem) and parallel time (path length).
+    O(log³ n) of the theorem) and parallel time (the number of relay
+    levels the flood actually traversed before answering or dying).
+    ``target`` overrides the item-hash position, as in
+    :func:`simple_lookup`.
     """
     plan = plan if plan is not None else FaultPlan()
-    target = net.item_hash(key)
+    if target is None:
+        target = net.item_hash(key)
     path = canonical_path(net, source, target)
     true_value = ("VALUE", key)
 
@@ -171,8 +197,14 @@ def resistant_lookup(
                 nxt_values[r] = best
         current_values = nxt_values
         if not current_values:
+            # died after k relay levels — report the levels actually
+            # traversed, not the full requested walk length
             return FTLookupResult(False, path_points=path, messages=messages,
-                                  parallel_time=len(layers) - 1)
+                                  parallel_time=k)
+    if not current_values:
+        # zero-hop path (t = 0) whose replica group is entirely dead
+        return FTLookupResult(False, path_points=path, messages=messages,
+                              parallel_time=0)
     counts: Dict[object, int] = {}
     for v in current_values.values():
         counts[v] = counts.get(v, 0) + 1

@@ -22,9 +22,25 @@ import numpy as np
 __all__ = ["FaultPlan", "random_failstop", "random_byzantine"]
 
 
+def _member_mask(servers: np.ndarray, chosen: Set[float]) -> np.ndarray:
+    """Boolean membership of each server id in a fault set."""
+    if not chosen:
+        return np.zeros(servers.size, dtype=bool)
+    table = np.fromiter(chosen, dtype=np.float64, count=len(chosen))
+    return np.isin(servers, table)
+
+
 @dataclass
 class FaultPlan:
-    """Which servers are faulty and how they misbehave."""
+    """Which servers are faulty and how they misbehave.
+
+    The canonical representation is two sets of server id points (the
+    scalar §6.3 algorithms probe them per hop); :meth:`failed_mask` /
+    :meth:`liar_mask` / :meth:`alive_mask` re-encode the same plan as
+    NumPy boolean arrays aligned with a sorted server-id vector, which is
+    how the batch engine (:mod:`repro.faults.batch_ft`) consumes it —
+    per-hop survival becomes one boolean reduction per level.
+    """
 
     failed: Set[float] = field(default_factory=set)       # fail-stop servers
     liars: Set[float] = field(default_factory=set)        # false-injection servers
@@ -40,6 +56,35 @@ class FaultPlan:
         if server in self.liars:
             return ("CORRUPT", server)
         return true_value
+
+    # ------------------------------------------------- array encodings
+    def failed_mask(self, servers: Sequence[float]) -> np.ndarray:
+        """Boolean fail-stop mask aligned with ``servers`` (keyed by id)."""
+        return _member_mask(np.asarray(servers, dtype=np.float64), self.failed)
+
+    def alive_mask(self, servers: Sequence[float]) -> np.ndarray:
+        """``~failed_mask`` — the survivors among ``servers``."""
+        return ~self.failed_mask(servers)
+
+    def liar_mask(self, servers: Sequence[float]) -> np.ndarray:
+        """Boolean false-injection mask aligned with ``servers``."""
+        return _member_mask(np.asarray(servers, dtype=np.float64), self.liars)
+
+    @classmethod
+    def from_masks(
+        cls,
+        servers: Sequence[float],
+        failed: "np.ndarray | None" = None,
+        liars: "np.ndarray | None" = None,
+    ) -> "FaultPlan":
+        """Build a plan from boolean arrays aligned with ``servers``."""
+        pts = np.asarray(servers, dtype=np.float64)
+        plan = cls()
+        if failed is not None:
+            plan.failed = {float(s) for s in pts[np.asarray(failed, dtype=bool)]}
+        if liars is not None:
+            plan.liars = {float(s) for s in pts[np.asarray(liars, dtype=bool)]}
+        return plan
 
 
 def random_failstop(

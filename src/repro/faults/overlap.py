@@ -28,13 +28,22 @@ import numpy as np
 
 from ..core.continuous import ContinuousGraph
 from ..core.interval import normalize
+from ..core.segments import cover_indices, normalize_array
 from ..hashing.kwise import Key, PointHasher
 
 __all__ = ["OverlappingDHNetwork"]
 
 
 class OverlappingDHNetwork:
-    """Static overlapping-segment Distance Halving network."""
+    """Static overlapping-segment Distance Halving network.
+
+    Besides the scalar dict-based API, the constructor freezes the
+    decomposition into **array-backed cover tables** (sorted id points,
+    per-server overlap length ``α_i``, segment length and midpoint) so
+    the batch fault-tolerance engine (:mod:`repro.faults.batch_ft`) can
+    answer "all covers of each of these B points" with one
+    ``searchsorted`` plus a ``(max α, B)`` gather — no per-point scan.
+    """
 
     def __init__(
         self,
@@ -60,6 +69,24 @@ class OverlappingDHNetwork:
             self.alpha[x] = a
             self.end[x] = self.points[(i + a) % n]
         self.store: Dict[Key, Set[float]] = {}
+        # ---- array-backed cover tables (the membership is static) ----
+        #: sorted id points, aligned with every per-server array below
+        self.points_array = np.asarray(self.points, dtype=np.float64)
+        #: overlap parameter α_i per server (how many successors it covers)
+        self.alpha_array = np.array(
+            [self.alpha[x] for x in self.points], dtype=np.int64)
+        #: closed-segment length (end_i - x_i) mod 1, same float ops as
+        #: ``covers_point`` so the vectorized test cannot drift from it
+        self.seg_len_array = np.mod(
+            np.array([self.end[x] for x in self.points], dtype=np.float64)
+            - self.points_array, 1.0)
+        #: §6.3 canonical-path start z_i = segment midpoint, precomputed
+        #: with the exact float ops of ``canonical_path``
+        self.mid_array = np.mod(
+            self.points_array + self.seg_len_array / 2.0, 1.0)
+        #: how many ring predecessors a cover scan must visit (max α + 2,
+        #: the same back-window the scalar ``covers`` walks)
+        self.max_back = int(min(n, self.alpha_array.max() + 2))
 
     # ------------------------------------------------------------- geometry
     @property
@@ -93,9 +120,30 @@ class OverlappingDHNetwork:
                     out.append(x)
         return out
 
+    def cover_table(self, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized cover query for a whole batch of points.
+
+        Returns ``(cand, mask)``: ``cand`` is a ``(max_back, B)`` int64
+        matrix of candidate server indices — row ``k`` holds the ``k``-th
+        ring predecessor of each query point, the exact scan order of the
+        scalar :meth:`covers` — and ``mask`` flags the candidates that
+        really cover their point (closed cyclic segment test, same float
+        ops as :meth:`covers_point`).  ``ys`` must already lie in
+        ``[0, 1)``; use :func:`~repro.core.segments.normalize_array`
+        first for raw ring points.
+        """
+        ys = np.asarray(ys, dtype=np.float64)
+        i = cover_indices(self.points_array, ys)
+        k = np.arange(self.max_back, dtype=np.int64)
+        cand = (i[None, :] - k[:, None]) % self.n
+        mask = (np.mod(ys[None, :] - self.points_array[cand], 1.0)
+                <= self.seg_len_array[cand])
+        return cand, mask
+
     def coverage_counts(self, probes: np.ndarray) -> np.ndarray:
         """Number of covers of each probe point (Θ(log n) whp)."""
-        return np.array([len(self.covers(float(p))) for p in probes])
+        _cand, mask = self.cover_table(normalize_array(probes))
+        return mask.sum(axis=0)
 
     # ------------------------------------------------------------- topology
     def neighbors(self, x: float) -> List[float]:

@@ -27,6 +27,7 @@ import numpy as np
 __all__ = [
     "uniform_points",
     "random_pairs",
+    "survivor_pairs",
     "random_permutation",
     "bit_reversal_permutation",
     "shift_permutation",
@@ -116,6 +117,27 @@ def random_pairs(
     idx = rng.integers(0, len(points), size=count)
     targets = rng.random(count)
     return [(points[i], float(t)) for i, t in zip(idx, targets)]
+
+
+def survivor_pairs(
+    points: Sequence[float],
+    alive_mask: np.ndarray,
+    rng: np.random.Generator,
+    count: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random (surviving source server, target point) pairs.
+
+    The Theorem 6.4 sampling model: sources are drawn uniformly from the
+    servers a fail-stop plan left alive (dead servers cannot originate
+    lookups), targets uniformly from the ring.  Returned in the split
+    ``(sources, targets)`` array form :func:`pairs_to_arrays` accepts.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    alive_idx = np.flatnonzero(np.asarray(alive_mask, dtype=bool))
+    if alive_idx.size == 0:
+        raise ValueError("survivor_pairs needs at least one alive server")
+    src = pts[alive_idx[rng.integers(0, alive_idx.size, size=count)]]
+    return src, rng.random(count)
 
 
 def random_permutation(

@@ -83,6 +83,14 @@ class TestQuickRuns:
         res = get_experiment("E15")(quick=True)
         assert res.passed, res.render()
 
+    def test_failstop_sweep_passes(self):
+        res = get_experiment("E13")(quick=True)
+        assert res.passed, res.render()
+
+    def test_byzantine_sweep_passes(self):
+        res = get_experiment("E14")(quick=True)
+        assert res.passed, res.render()
+
     def test_runner_writes_json(self, tmp_path):
         results = run_experiments(["F1"], quick=True, out_dir=str(tmp_path),
                                   echo=False)

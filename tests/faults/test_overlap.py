@@ -181,6 +181,27 @@ class TestResistantLookup:
         assert res.messages >= log_n**2 / 4  # it really floods
         assert res.parallel_time <= log_n + 3
 
+    def test_zero_hop_dead_replica_group_fails_cleanly(self, net):
+        """Regression: a zero-hop lookup whose whole replica group is
+        dead used to crash on the empty final majority; it now reports a
+        plain failure with zero levels traversed."""
+        src = net.points[3]
+        plan = FaultPlan(failed=set(net.covers(src)) | {src})
+        res = resistant_lookup(net, src, "k", plan, target=src)
+        assert not res.success
+        assert res.parallel_time == 0
+        assert res.messages == 0
+
+    def test_midpath_death_parallel_time_counts_traversed_levels(self, net):
+        """Regression: dying at relay level k must report k, not the
+        requested walk length."""
+        y = 0.42
+        plan = FaultPlan(failed=set(net.covers(y)))
+        src = next(p for p in net.points if not net.covers_point(p, y))
+        res = resistant_lookup(net, src, "k", plan, target=y)
+        assert not res.success
+        assert res.parallel_time == 1 < len(res.path_points) - 1
+
     def test_simple_lookup_fails_against_byzantine(self, net):
         """Contrast: the cheap lookup trusts a single holder, so a lying
         holder corrupts the answer — resistant lookup exists for a reason."""

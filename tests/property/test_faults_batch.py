@@ -1,0 +1,101 @@
+"""Property tests for the fault-tolerant batch engine (§6.3).
+
+Two invariants, driven by hypothesis:
+
+* on **fault-free** networks the cheap Simple Lookup and the flooding
+  resistant lookup agree — both succeed and traverse the same canonical
+  walk (they emulate the same Claim 2.4 path);
+* under arbitrary random fail-stop + Byzantine plans the batch engine
+  is **bit-identical** to the scalar per-hop walks when driven by the
+  same choice uniforms.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lookup import compress_path
+from repro.faults import (
+    FTBatchEngine,
+    FaultPlan,
+    OverlappingDHNetwork,
+    resistant_lookup,
+    simple_lookup,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31)
+MED = settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow],
+               deadline=None)
+
+_NET = OverlappingDHNetwork(128, np.random.default_rng(1234))
+_ENGINE = FTBatchEngine(_NET)
+
+
+class TestFaultFreeAgreement:
+    @MED
+    @given(seed=seeds,
+           target=st.floats(min_value=0.0, max_value=1.0, exclude_max=True,
+                            allow_nan=False))
+    def test_simple_and_resistant_agree(self, seed, target):
+        """Fault-free: both lookups succeed along the same canonical walk."""
+        rng = np.random.default_rng(seed)
+        src = _NET.points[int(rng.integers(_NET.n))]
+        simple = simple_lookup(_NET, src, "k", rng, target=target)
+        resist = resistant_lookup(_NET, src, "k", target=target)
+        assert simple.success and resist.success
+        assert simple.path_points == resist.path_points
+        assert simple.parallel_time == resist.parallel_time
+
+    @MED
+    @given(seed=seeds)
+    def test_batch_engines_agree_fault_free(self, seed):
+        rng = np.random.default_rng(seed)
+        src = _NET.points_array[rng.integers(0, _NET.n, size=20)]
+        tgt = rng.random(20)
+        simple = _ENGINE.batch_simple_lookup(src, tgt, rng=rng)
+        resist = _ENGINE.batch_resistant_lookup(src, tgt)
+        assert simple.success.all() and resist.success.all()
+        assert (simple.t == resist.t).all()
+
+
+class TestBatchScalarParity:
+    @MED
+    @given(seed=seeds,
+           p_fail=st.floats(min_value=0.0, max_value=0.8),
+           p_liar=st.floats(min_value=0.0, max_value=0.5))
+    def test_simple_bitwise_parity(self, seed, p_fail, p_liar):
+        rng = np.random.default_rng(seed)
+        plan = FaultPlan.from_masks(_NET.points_array,
+                                    failed=rng.random(_NET.n) < p_fail,
+                                    liars=rng.random(_NET.n) < p_liar)
+        src = _NET.points_array[rng.integers(0, _NET.n, size=15)]
+        tgt = rng.random(15)
+        u = rng.random((15, 32))
+        batch = _ENGINE.batch_simple_lookup(src, tgt, choices=u, plan=plan,
+                                            keep_paths="csr")
+        for i in range(15):
+            ref = simple_lookup(_NET, float(src[i]), "k", plan=plan,
+                                target=float(tgt[i]), choices=list(u[i]))
+            assert bool(ref.success) == bool(batch.success[i])
+            assert ref.messages == int(batch.messages[i])
+            assert ref.parallel_time == int(batch.parallel_time[i])
+            assert compress_path(ref.servers) == batch.server_path(i)
+
+    @MED
+    @given(seed=seeds,
+           p_fail=st.floats(min_value=0.0, max_value=0.8),
+           p_liar=st.floats(min_value=0.0, max_value=0.5))
+    def test_resistant_accounting_parity(self, seed, p_fail, p_liar):
+        rng = np.random.default_rng(seed)
+        plan = FaultPlan.from_masks(_NET.points_array,
+                                    failed=rng.random(_NET.n) < p_fail,
+                                    liars=rng.random(_NET.n) < p_liar)
+        src = _NET.points_array[rng.integers(0, _NET.n, size=10)]
+        tgt = rng.random(10)
+        batch = _ENGINE.batch_resistant_lookup(src, tgt, plan=plan)
+        for i in range(10):
+            ref = resistant_lookup(_NET, float(src[i]), "k", plan,
+                                   target=float(tgt[i]))
+            assert bool(ref.success) == bool(batch.success[i])
+            assert ref.messages == int(batch.messages[i])
+            assert ref.parallel_time == int(batch.parallel_time[i])
