@@ -36,6 +36,11 @@ subcommands:
                     fault-tolerant batch engine against the scalar
                     per-hop walk, with a bit-identical choice-driven
                     replay on a subsample
+  bench-caching     serve a Zipf hot-key stream through the vectorized
+                    §3 cache engine against the scalar per-request
+                    loop, with a bit-identical trace replay on a side
+                    network and a salted-vs-unsalted hotspot relief
+                    check
 
 every bench-* subcommand accepts --json-out FILE to additionally write
 the measurement dict (plus the pass/fail verdict) as machine-readable
@@ -190,6 +195,41 @@ def _bench_faults(args) -> int:
     verdict = "PASS" if ok else "FAIL"
     print(f"[{verdict}] replay parity and speedup ≥ {args.min_speedup:g}x")
     _write_json_out(args.json_out, "bench-faults", result, ok)
+    return 0 if ok else 1
+
+
+def _bench_caching(args) -> int:
+    from .experiments.caching_bench import format_caching_report, measure_caching
+
+    if args.n < 2 or args.requests < 1 or args.scalar_sample < 1:
+        print(
+            "bench-caching: --n must be >= 2; --requests and "
+            "--scalar-sample must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.salts < 2:
+        print("bench-caching: --salts must be >= 2 to spread a hot key",
+              file=sys.stderr)
+        return 2
+
+    result = measure_caching(
+        n=args.n,
+        requests=args.requests,
+        seed=args.seed,
+        scalar_sample=args.scalar_sample,
+        n_items=args.items,
+        salts=args.salts,
+        parity_n=args.parity_n,
+        hotspot_requests=args.hotspot_requests,
+    )
+    print(format_caching_report(result))
+    ok = (result["parity_ok"] and result["salted_ok"]
+          and result["speedup"] >= args.min_speedup)
+    verdict = "PASS" if ok else "FAIL"
+    print(f"[{verdict}] trace parity, salted relief and speedup ≥ "
+          f"{args.min_speedup:g}x")
+    _write_json_out(args.json_out, "bench-caching", result, ok)
     return 0 if ok else 1
 
 
@@ -367,6 +407,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the measurement dict + verdict as JSON",
     )
 
+    cachep = sub.add_parser(
+        "bench-caching",
+        help="vectorized §3 cache serving vs the scalar request loop "
+        "(bit-identical trace replay + salted hotspot relief)",
+    )
+    cachep.add_argument("--n", type=int, default=16384, help="network size")
+    cachep.add_argument(
+        "--requests", type=int, default=1_000_000,
+        help="Zipf cache requests served as chunked batches"
+    )
+    cachep.add_argument(
+        "--items", type=int, default=64, help="item universe of the Zipf demand"
+    )
+    cachep.add_argument(
+        "--salts", type=int, default=4,
+        help="salt points of the salted-mode hotspot comparison"
+    )
+    cachep.add_argument(
+        "--scalar-sample",
+        type=int,
+        default=1500,
+        help="requests served through the scalar CacheSystem baseline",
+    )
+    cachep.add_argument(
+        "--parity-n",
+        type=int,
+        default=512,
+        help="side-network size of the full bit-parity trace replay (≤ 1024)",
+    )
+    cachep.add_argument(
+        "--hotspot-requests",
+        type=int,
+        default=None,
+        help="single-hotspot stream length of the salted-vs-unsalted "
+        "comparison (default: same as --requests, capped at 10^6)",
+    )
+    cachep.add_argument("--seed", type=int, default=1)
+    cachep.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="exit non-zero when the batch engine is slower than this factor",
+    )
+    cachep.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the measurement dict + verdict as JSON",
+    )
+
     args = parser.parse_args(argv)
 
     from .experiments.common import all_experiments
@@ -385,6 +475,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench_congestion(args)
     if args.command == "bench-faults":
         return _bench_faults(args)
+    if args.command == "bench-caching":
+        return _bench_caching(args)
 
     names = args.names
     lowered = [n.lower() for n in names]

@@ -5,7 +5,13 @@ lookup algorithms, and the coupled dynamic-caching protocol.
 """
 
 from .batch import BatchLookupResult, BatchRouter, RouterRefreshStats
-from .caching import ActiveTree, CachedLookup, CacheSystem
+from .batch_cache import (
+    BatchCacheEngine,
+    BatchCacheResult,
+    decode_node_key,
+    encode_node_key,
+)
+from .caching import ActiveTree, CachedLookup, CacheSystem, salt_indices, salted_key
 from .continuous import ContinuousGraph, binary_digits, digits_to_point
 from .debruijn import (
     bit_reversal,
@@ -40,6 +46,8 @@ from .segments import SegmentMap
 __all__ = [
     "ActiveTree",
     "Arc",
+    "BatchCacheEngine",
+    "BatchCacheResult",
     "BatchCongestion",
     "BatchLookupResult",
     "BatchRouter",
@@ -60,9 +68,11 @@ __all__ = [
     "compress_path",
     "debruijn_diameter",
     "debruijn_graph",
+    "decode_node_key",
     "dh_lookup",
     "digits_to_point",
     "distance_halving_is_debruijn",
+    "encode_node_key",
     "equally_spaced_network",
     "fast_lookup",
     "full_arc",
@@ -72,4 +82,6 @@ __all__ = [
     "normalize",
     "path_lengths",
     "ring_distance",
+    "salt_indices",
+    "salted_key",
 ]

@@ -1,0 +1,604 @@
+"""Vectorized dynamic caching — the §3 hot-spot protocol on array state.
+
+The scalar :class:`~repro.core.caching.CacheSystem` serves one request at
+a time through Python sets and Counters; this module serves whole request
+*batches* against array-backed active trees:
+
+* the active set of every item's path tree is one sorted ``int64`` array
+  of digit-prefix keys (``key(()) = 0``, ``key(s + (d,)) = key(s)·Δ + d
+  + 1`` — a bijective base-Δ code), all trees packed into a single
+  composite key space ``tree·K + node_key`` so one ``np.searchsorted``
+  answers membership for every request of a batch at once;
+* ``serving_node`` resolution is a gather: the prefix keys of a request's
+  digit string are membership-tested in bulk and the deepest active
+  prefix falls out of a row sum (prefix-closure makes the active depths
+  contiguous);
+* replication (step 1 of the protocol) runs as a fixpoint over sorted
+  request groups that reproduces the *sequential* semantics exactly —
+  the ``(c+1)``-th hit of a leaf replicates, the triggering request is
+  served where it entered, strictly later deep entries reroute to the
+  children (see :meth:`BatchCacheEngine.serve_batch`);
+* epoch counters accumulate with ``np.bincount``; the end-of-epoch
+  collapse (steps 2–3) is a vectorized sibling-group reduction applied
+  as set patches until it reaches the same fixpoint as the scalar
+  while-changed loop;
+* cache-shortened paths are emitted as CSR (a ragged cache-truncated
+  specialisation of :func:`~repro.core.batch.levels_to_csr` sized by
+  the true per-request path lengths), so cached batches book straight
+  into :class:`~repro.core.routing_stats.BatchCongestion`.
+
+Every float operation mirrors the scalar engine ULP-for-ULP (node
+positions are the closed-form walks ``(root + Σ d_k Δ^k) / Δ^j`` with the
+same IEEE operation order), so served nodes, replication counts, message
+and hit counters, and ``summary()`` are *bit-identical* to a scalar
+:class:`~repro.core.caching.CacheSystem` replay of the same request
+stream — the contract the parity test suite asserts.
+
+Salting (the mitigation mode of both engines): with ``salts = s > 1``
+each item is spread over ``s`` deterministic salt points — request
+sources pick a salt via :func:`~repro.core.caching.salt_indices`, the
+request routes to the salted tree rooted at ``h(salted_key(item, j))``,
+and per-item statistics merge the ``s`` per-salt trees
+(:meth:`BatchCacheEngine.item_replications` /
+:meth:`~BatchCacheEngine.item_copies`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hashing.kwise import Key
+from .batch import _isin_sorted
+from .caching import salt_indices, salted_key
+from .continuous import Digits
+from .network import DistanceHalvingNetwork
+from .segments import cover_indices, normalize_array
+
+__all__ = ["BatchCacheEngine", "BatchCacheResult", "decode_node_key",
+           "encode_node_key"]
+
+#: Digits generated per request when ``serve_batch`` draws its own tau —
+#: matches the experiments' ``DH_TAU_DIGITS`` headroom.
+_TAU_DIGITS = 64
+
+
+def encode_node_key(address: Sequence[int], delta: int) -> int:
+    """Bijective base-Δ code of a path-tree address (root ``()`` is 0)."""
+    key = 0
+    for d in address:
+        if not 0 <= d < delta:
+            raise ValueError(f"digit {d} out of range for delta={delta}")
+        key = key * delta + d + 1
+    return key
+
+
+def decode_node_key(key: int, delta: int) -> Digits:
+    """Inverse of :func:`encode_node_key`."""
+    if key < 0:
+        raise ValueError("node keys are non-negative")
+    digits: List[int] = []
+    while key:
+        key, d = divmod(key - 1, delta)
+        digits.append(d)
+    return tuple(reversed(digits))
+
+
+@dataclass
+class BatchCacheResult:
+    """Array-of-structs outcome of one served batch.
+
+    Mirrors :class:`~repro.core.caching.CachedLookup` field-for-field as
+    arrays: ``serving_depth``/``serving_node_key`` identify the cache
+    node that supplied each request, ``hops`` counts the cache-shortened
+    path, ``lookup_hops`` the full Distance Halving route it truncated.
+    ``path_servers``/``path_offsets`` is the CSR encoding of the
+    shortened server paths (indices into ``points``) —
+    :meth:`to_csr`/``size``/``hops`` give the exact duck-type
+    :meth:`~repro.core.routing_stats.BatchCongestion.record_batch`
+    consumes.
+    """
+
+    points: np.ndarray
+    items: np.ndarray
+    trees: np.ndarray
+    t: np.ndarray
+    serving_depth: np.ndarray
+    serving_node_key: np.ndarray
+    serving_server_idx: np.ndarray
+    hops: np.ndarray
+    lookup_hops: np.ndarray
+    path_servers: np.ndarray = field(repr=False, default=None)
+    path_offsets: np.ndarray = field(repr=False, default=None)
+    delta: int = 2
+
+    @property
+    def size(self) -> int:
+        return int(self.t.size)
+
+    @property
+    def serving_server(self) -> np.ndarray:
+        """Id points of the servers that supplied each request."""
+        return self.points[self.serving_server_idx]
+
+    @property
+    def saved_hops(self) -> np.ndarray:
+        """Hops avoided relative to routing all the way to the owner."""
+        return np.maximum(0, self.lookup_hops - self.hops)
+
+    def to_csr(self) -> tuple:
+        """``(path_servers, path_offsets)`` of the shortened paths."""
+        return self.path_servers, self.path_offsets
+
+    def serving_node(self, i: int) -> Digits:
+        """Digit address of the cache node that served request ``i``."""
+        return decode_node_key(int(self.serving_node_key[i]), self.delta)
+
+    def server_path(self, i: int) -> List[float]:
+        """Compressed server path of request ``i`` (CSR decode)."""
+        lo, hi = self.path_offsets[i], self.path_offsets[i + 1]
+        return [float(self.points[k]) for k in self.path_servers[lo:hi]]
+
+
+class BatchCacheEngine:
+    """Batch server for the Continuous Hot Spots Protocol (§3.1).
+
+    Parameters
+    ----------
+    net:
+        The network; the engine snapshots its decomposition via
+        ``net.compile_router(with_adjacency=True)`` (a frozen router —
+        membership changes raise the stale-router error rather than
+        silently shifting cached node covers mid-epoch).
+    items:
+        The item universe, fixed up front so every tree gets a dense
+        index; ``serve_batch`` takes item *indices* into this list.
+    threshold:
+        The paper's ``c`` (default ``⌈log₂ n⌉``, as in the scalar
+        engine).
+    salts:
+        ``1`` reproduces the paper's protocol exactly; ``s > 1`` spreads
+        each item over ``s`` salted trees (hot-key mitigation mode).
+    router:
+        Optionally reuse an existing adjacency-enabled router snapshot.
+    """
+
+    def __init__(
+        self,
+        net: DistanceHalvingNetwork,
+        items: Sequence[Key],
+        threshold: Optional[int] = None,
+        salts: int = 1,
+        router=None,
+    ) -> None:
+        if len(items) == 0:
+            raise ValueError("BatchCacheEngine needs a non-empty item universe")
+        if int(salts) < 1:
+            raise ValueError("salts must be >= 1")
+        self.net = net
+        self.items: List[Key] = list(items)
+        self.salts = int(salts)
+        n = max(2, net.n)
+        c = int(threshold) if threshold is not None else int(np.ceil(np.log2(n)))
+        if c < 1:
+            raise ValueError("threshold c must be >= 1")
+        self.c = c
+        self._router = router if router is not None else net.compile_router(
+            with_adjacency=True)
+        self.delta = int(self._router.delta)
+
+        self.n_items = len(self.items)
+        self.n_trees = self.n_items * self.salts
+        # Composite key layout: tree·K + node_key with K = Δ^(depth_cap+2),
+        # sized so child-range queries of the deepest node stay below K and
+        # the whole space stays inside int64.  The float64 cap (exact
+        # offsets need Δ^depth < 2^53) binds long before real walks do.
+        log_d = math.log2(self.delta)
+        tree_bits = max(1, math.ceil(math.log2(self.n_trees + 1)))
+        self._depth_cap = min(int((62 - tree_bits) / log_d) - 2,
+                              int(52 / log_d))
+        if self._depth_cap < 4:
+            raise ValueError(
+                f"too many trees ({self.n_trees}) for the int64 composite "
+                f"key space at delta={self.delta}")
+        self._K = self.delta ** (self._depth_cap + 2)
+        # float(Δ^j) via exact-int conversion: the same scale the scalar
+        # walk divides by, so positions stay bit-identical.
+        self._scales = np.asarray(
+            [float(self.delta**j) for j in range(self._depth_cap + 2)],
+            dtype=np.float64)
+
+        # per-tree roots h(item) (or h(salted_key(item, j)) when salted)
+        roots = np.empty(self.n_trees, dtype=np.float64)
+        for i, item in enumerate(self.items):
+            for j in range(self.salts):
+                key = item if self.salts == 1 else salted_key(item, j)
+                roots[i * self.salts + j] = float(net.item_hash(key))
+        self._roots = roots
+
+        # active-set state: parallel sorted arrays over composite keys
+        base = np.arange(self.n_trees, dtype=np.int64) * self._K
+        self._keys = base.copy()                       # sorted composite keys
+        self._counts = np.zeros(self.n_trees, np.int64)  # served this epoch
+        self._pos = roots.copy()                       # node ring positions
+        self._depths = np.zeros(self.n_trees, np.int64)
+        self._prev_keys = base.copy()                  # last epoch's snapshot
+        self._prev_counts = np.zeros(self.n_trees, np.int64)
+        self._tree_replications = np.zeros(self.n_trees, np.int64)
+        self._touched = np.zeros(self.n_trees, dtype=bool)
+
+        # per-server counters (indexed like the router's sorted points)
+        self._hits = np.zeros(self._router.n, np.int64)
+        self._msgs = np.zeros(self._router.n, np.int64)
+        self.requests_served = 0
+
+    # ------------------------------------------------------------ tree views
+    def tree_index(self, item_idx: int, salt: int = 0) -> int:
+        """Dense tree index of ``(item, salt)``."""
+        if not 0 <= item_idx < self.n_items:
+            raise IndexError(f"item index {item_idx} out of range")
+        if not 0 <= salt < self.salts:
+            raise IndexError(f"salt {salt} out of range")
+        return item_idx * self.salts + salt
+
+    def _tree_slice(self, tree: int) -> np.ndarray:
+        lo = np.searchsorted(self._keys, tree * self._K)
+        hi = np.searchsorted(self._keys, (tree + 1) * self._K)
+        return np.arange(lo, hi)
+
+    def active_set(self, tree: int) -> set:
+        """Active node addresses of one tree (digit tuples)."""
+        sl = self._tree_slice(tree)
+        base = tree * self._K
+        return {decode_node_key(int(k - base), self.delta)
+                for k in self._keys[sl]}
+
+    def tree_size(self, tree: int) -> int:
+        """Active nodes of one tree (Observation 3.1 bounds it by 4q/c)."""
+        return int(self._tree_slice(tree).size)
+
+    def tree_depth(self, tree: int) -> int:
+        """Deepest active node of one tree (Lemma 3.3's bound)."""
+        sl = self._tree_slice(tree)
+        return int(self._depths[sl].max()) if sl.size else 0
+
+    def tree_replications(self, tree: int) -> int:
+        return int(self._tree_replications[tree])
+
+    def served_counts(self, tree: int) -> Dict[Digits, int]:
+        """This epoch's per-node served counters of one tree (non-zero)."""
+        sl = self._tree_slice(tree)
+        base = tree * self._K
+        return {decode_node_key(int(self._keys[i] - base), self.delta):
+                int(self._counts[i]) for i in sl if self._counts[i]}
+
+    def last_epoch_served(self, tree: int) -> Dict[Digits, int]:
+        """The counters the last ``advance_epoch`` snapshot preserved."""
+        base = tree * self._K
+        lo = np.searchsorted(self._prev_keys, base)
+        hi = np.searchsorted(self._prev_keys, base + self._K)
+        return {decode_node_key(int(self._prev_keys[i] - base), self.delta):
+                int(self._prev_counts[i]) for i in range(lo, hi)
+                if self._prev_counts[i]}
+
+    # ------------------------------------------------------- item-level views
+    def item_replications(self, item_idx: int) -> int:
+        """Total child activations of an item, merged over its salts."""
+        lo = self.tree_index(item_idx, 0)
+        return int(self._tree_replications[lo:lo + self.salts].sum())
+
+    def item_copies(self, item_idx: int) -> int:
+        """Active copies beyond the roots, merged over the item's salts."""
+        lo = self.tree_index(item_idx, 0)
+        return sum(self.tree_size(t) - 1 for t in range(lo, lo + self.salts))
+
+    def content_update(self, item_idx: int) -> Tuple[int, int]:
+        """§3 Content Update cost ``(messages, parallel_time)``.
+
+        One message per active tree edge, time = active depth; salted
+        items update every salt tree in parallel (messages add, times
+        max) — both stay ``O(log n)``.
+        """
+        lo = self.tree_index(item_idx, 0)
+        msgs = sum(self.tree_size(t) - 1 for t in range(lo, lo + self.salts))
+        time = max(self.tree_depth(t) for t in range(lo, lo + self.salts))
+        return msgs, time
+
+    # ------------------------------------------------------------- the batch
+    def serve_batch(
+        self,
+        item_idx,
+        sources,
+        tau: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+        congestion=None,
+    ) -> BatchCacheResult:
+        """Serve one batch of requests, in array order (= arrival order).
+
+        Routes every request with the vectorized two-phase Distance
+        Halving lookup toward its (salted) root, resolves serving nodes
+        against the active trees, applies step-1 replication with the
+        exact sequential semantics, and books hit/message counters.
+
+        ``tau`` fixes the per-request digit strings (shape ``(B, L)`` or
+        ``(L,)``; required for bit-parity against a scalar replay);
+        without it fresh digits are drawn from ``rng``.  ``congestion``
+        optionally books the shortened CSR paths into a
+        :class:`~repro.core.routing_stats.BatchCongestion`.
+        """
+        items = np.asarray(item_idx, dtype=np.int64).ravel()
+        src = normalize_array(np.asarray(sources, dtype=np.float64))
+        if items.size != src.size:
+            raise ValueError("item_idx and sources must have the same length")
+        if items.size and (items.min() < 0 or items.max() >= self.n_items):
+            raise IndexError("item index out of range for the engine's universe")
+        size = int(items.size)
+        delta = self.delta
+        points = self._router.points
+        if size == 0:
+            empty_i = np.zeros(0, np.int64)
+            return BatchCacheResult(
+                points=points, items=empty_i, trees=empty_i, t=empty_i,
+                serving_depth=empty_i, serving_node_key=empty_i,
+                serving_server_idx=empty_i.astype(np.int32), hops=empty_i,
+                lookup_hops=empty_i,
+                path_servers=np.zeros(0, np.int32),
+                path_offsets=np.zeros(1, np.int64), delta=delta)
+
+        if self.salts > 1:
+            trees = items * self.salts + salt_indices(src, self.salts)
+        else:
+            trees = items.copy()
+        targets = self._roots[trees]
+
+        if tau is None:
+            if rng is None:
+                raise ValueError("serve_batch needs an rng or explicit tau")
+            tau = rng.integers(0, delta, size=(size, _TAU_DIGITS))
+        tau_arr = np.asarray(tau, dtype=np.int64)
+        if tau_arr.ndim == 1:
+            tau_arr = np.broadcast_to(tau_arr, (size, tau_arr.size))
+        if tau_arr.shape[0] != size:
+            raise ValueError("tau must have one digit string per request")
+
+        res = self._router.batch_dh_lookup(src, targets, tau=tau_arr,
+                                           keep_paths=False)
+        t = res.t
+        tmax = int(t.max())
+        if tmax + 1 > self._depth_cap:
+            raise RuntimeError(
+                f"walk of {tmax} digits exceeds the engine's depth cap "
+                f"{self._depth_cap}; fewer trees or larger delta needed")
+
+        # prefix keys (composite) and exact walk offsets per depth
+        scales = self._scales
+        P = np.empty((size, tmax + 1), dtype=np.int64)
+        OFF = np.empty((size, tmax + 1), dtype=np.float64)
+        P[:, 0] = 0
+        OFF[:, 0] = 0.0
+        for j in range(1, tmax + 1):
+            d = tau_arr[:, j - 1]
+            P[:, j] = P[:, j - 1] * delta + d + 1
+            OFF[:, j] = OFF[:, j - 1] + d * scales[j - 1]
+        CK = trees[:, None] * self._K + P
+
+        # serving depth: active prefixes are depth-contiguous from the root
+        memb = _isin_sorted(CK.ravel(), self._keys).reshape(size, tmax + 1)
+        memb &= np.arange(tmax + 1)[None, :] <= t[:, None]
+        depth = memb.sum(axis=1).astype(np.int64) - 1
+        lanes = np.arange(size)
+        node = CK[lanes, depth]
+
+        self._replication_fixpoint(node, depth, t, CK, OFF, trees, lanes)
+
+        # commit epoch counters and per-server hits
+        idx = np.searchsorted(self._keys, node)
+        np.add.at(self._counts, idx, 1)
+        serving_idx = cover_indices(points, self._pos[idx]).astype(np.int32)
+        np.add.at(self._hits, serving_idx, 1)
+        self._touched[np.unique(trees)] = True
+        self.requests_served += size
+
+        # cache-shortened paths: phase-I walk covers j = 0..t, then
+        # phase-II covers j = t..serving depth — the exact closed-form
+        # trajectory the scalar engine books.  Built ragged (a flat
+        # (lane, level) expansion sized by the true path lengths, not a
+        # dense level matrix) and compressed to CSR in one pass, the
+        # cache-truncated specialisation of ``levels_to_csr``.
+        raw_len = 2 * t - depth + 2          # (t+1) phase-I + (t-m+1) phase-II
+        starts = np.concatenate(([0], np.cumsum(raw_len)))
+        total = int(starts[-1])
+        lane = np.repeat(lanes, raw_len)
+        k = np.arange(total) - np.repeat(starts[:-1], raw_len)
+        tl = t[lane]
+        is_p1 = k <= tl
+        j = np.where(is_p1, k, 2 * tl + 1 - k)
+        val = (np.where(is_p1, src[lane], targets[lane]) + OFF[lane, j])
+        val /= scales[j]
+        val[val == 1.0] = 0.0
+        serv = cover_indices(points, val)
+        keep = np.ones(total, dtype=bool)   # consecutive-dup compression
+        keep[1:] = (lane[1:] != lane[:-1]) | (serv[1:] != serv[:-1])
+        servers = serv[keep].astype(np.int32)
+        counts = np.bincount(lane[keep], minlength=size)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        np.add.at(self._msgs, servers, 1)
+        hops = counts - 1
+
+        result = BatchCacheResult(
+            points=points, items=items, trees=trees, t=t,
+            serving_depth=depth, serving_node_key=node - trees * self._K,
+            serving_server_idx=serving_idx, hops=hops, lookup_hops=res.hops,
+            path_servers=servers, path_offsets=offsets, delta=delta)
+        if congestion is not None:
+            congestion.record_batch(result)
+        return result
+
+    def _replication_fixpoint(self, node, depth, t, CK, OFF, trees, lanes):
+        """Step-1 replication with sequential semantics, vectorized.
+
+        Requests are grouped by their current node in batch order.  A
+        group at a *leaf* whose carried count ``b`` plus arrivals crosses
+        the threshold fires at arrival ``c+1-b``: that request is served
+        where it entered, strictly later arrivals that entered deeper
+        reroute to the next child on their digit string, and all Δ
+        children activate.  Groups at blocked (non-leaf) nodes never
+        fire; rerouted requests keep their batch order, so a child group
+        fires exactly when the scalar per-request loop would make it.
+        Terminates because every round strictly deepens some requests.
+        """
+        size = lanes.size
+        delta = self.delta
+        c = self.c
+        points = self._router.points
+        while True:
+            order = np.lexsort((lanes, node))
+            sk = node[order]
+            new_grp = np.ones(size, dtype=bool)
+            new_grp[1:] = sk[1:] != sk[:-1]
+            grp_start = np.flatnonzero(new_grp)
+            grp_id = np.cumsum(new_grp) - 1
+            u_keys = sk[grp_start]
+            gsize = np.diff(np.append(grp_start, size))
+            pos = np.arange(size) - grp_start[grp_id] + 1
+
+            local = u_keys % self._K
+            child_lo = u_keys + local * (delta - 1) + 1
+            has_child = (np.searchsorted(self._keys, child_lo + delta)
+                         > np.searchsorted(self._keys, child_lo))
+            base = self._counts[np.searchsorted(self._keys, u_keys)]
+            tpos = c + 1 - base
+            fires = ~has_child & (gsize >= tpos)
+            if not fires.any():
+                return
+
+            # reroute strictly-later deep entries of fired groups
+            req_fire = fires[grp_id]
+            move_sorted = req_fire & (pos > tpos[grp_id])
+            moved = order[move_sorted]
+            moved = moved[t[moved] > depth[moved]]
+            node[moved] = CK[moved, depth[moved] + 1]
+            depth[moved] += 1
+
+            # activate all Δ children of every fired node
+            f = np.flatnonzero(fires)
+            rep = order[grp_start[f]]          # first group member, in order
+            f_depth = depth[rep]
+            f_tree = trees[rep]
+            off_u = OFF[rep, f_depth]
+            pow_d = self._scales[f_depth]
+            ds = np.arange(delta, dtype=np.float64)
+            child_off = off_u[:, None] + ds[None, :] * pow_d[:, None]
+            child_pos = ((self._roots[f_tree][:, None] + child_off)
+                         / self._scales[f_depth + 1][:, None]).ravel()
+            child_pos[child_pos == 1.0] = 0.0
+            child_keys = (node[rep][:, None] * delta + 1
+                          + np.arange(delta, dtype=np.int64)[None, :]
+                          - (f_tree * self._K * (delta - 1))[:, None]).ravel()
+            csort = np.argsort(child_keys, kind="stable")
+            child_keys = child_keys[csort]
+            child_pos = child_pos[csort]
+            child_depth = np.repeat(f_depth + 1, delta)[csort]
+            ins = np.searchsorted(self._keys, child_keys)
+            self._keys = np.insert(self._keys, ins, child_keys)
+            self._counts = np.insert(self._counts, ins, 0)
+            self._pos = np.insert(self._pos, ins, child_pos)
+            self._depths = np.insert(self._depths, ins, child_depth)
+            np.add.at(self._tree_replications, f_tree, delta)
+            np.add.at(self._msgs, cover_indices(points, child_pos), 1)
+
+    # ---------------------------------------------------------------- epochs
+    def advance_epoch(self) -> int:
+        """End the epoch: collapse the unused fringe; reset counters.
+
+        Vectorized steps 2–3: a sibling group of Δ cold leaves (every
+        sibling active, a leaf, served < c) is removed as one patch;
+        the sweep repeats until stable, reaching the same fixpoint as
+        the scalar deepest-first recursion (removals only ever enable
+        more removals).  Returns the number of deactivated nodes.
+        """
+        delta = self.delta
+        removed = 0
+        while True:
+            keys = self._keys
+            local = keys % self._K
+            nz = np.flatnonzero(local > 0)
+            if nz.size == 0:
+                break
+            child_lo = keys + local * (delta - 1) + 1
+            has_child = (np.searchsorted(keys, child_lo + delta)
+                         > np.searchsorted(keys, child_lo))
+            cold = ~has_child & (self._counts < self.c)
+            pk = keys[nz] - local[nz] + (local[nz] - 1) // delta
+            starts = np.flatnonzero(np.r_[True, pk[1:] != pk[:-1]])
+            gsize = np.diff(np.append(starts, pk.size))
+            grp = np.cumsum(np.r_[True, pk[1:] != pk[:-1]]) - 1
+            all_cold = np.minimum.reduceat(
+                cold[nz].astype(np.int8), starts).astype(bool)
+            kill_grp = all_cold & (gsize == delta)
+            if not kill_grp.any():
+                break
+            kill = np.zeros(keys.size, dtype=bool)
+            kill[nz] = kill_grp[grp]
+            removed += int(kill.sum())
+            keep = ~kill
+            self._keys = self._keys[keep]
+            self._counts = self._counts[keep]
+            self._pos = self._pos[keep]
+            self._depths = self._depths[keep]
+        self._prev_keys = self._keys.copy()
+        self._prev_counts = self._counts.copy()
+        self._counts = np.zeros_like(self._counts)
+        return removed
+
+    # ----------------------------------------------------------------- stats
+    def server_cache_hits(self) -> np.ndarray:
+        """Per-server cache-hit counts (router point order)."""
+        return self._hits.copy()
+
+    def server_messages(self) -> np.ndarray:
+        """Per-server message counts (routing + replication copies)."""
+        return self._msgs.copy()
+
+    def items_cached_per_server(self) -> np.ndarray:
+        """Distinct (touched) trees with an active node per server."""
+        tree_ids = self._keys // self._K
+        mask = self._touched[tree_ids]
+        if not mask.any():
+            return np.zeros(self._router.n, np.int64)
+        servers = cover_indices(self._router.points, self._pos[mask])
+        pair = servers.astype(np.int64) * self.n_trees + tree_ids[mask]
+        distinct = np.unique(pair)
+        return np.bincount((distinct // self.n_trees).astype(np.int64),
+                           minlength=self._router.n)
+
+    def max_items_cached(self) -> int:
+        """Max over servers of distinct cached trees (Thm 3.8 (i))."""
+        per = self.items_cached_per_server()
+        return int(per.max()) if per.size else 0
+
+    def total_copies(self) -> int:
+        """Total active nodes beyond the roots."""
+        return int(self._keys.size - self.n_trees)
+
+    def summary(self) -> Dict[str, float]:
+        """Same digest schema (and, for the same stream, the same bits)
+        as :meth:`repro.core.caching.CacheSystem.summary`.
+
+        ``trees`` counts the trees that served at least one request —
+        exactly the :class:`~repro.core.caching.ActiveTree` objects the
+        scalar system would have materialised for the routed keys.
+        """
+        return {
+            "requests": float(self.requests_served),
+            "threshold_c": float(self.c),
+            "max_cache_hits": float(self._hits.max(initial=0)),
+            "max_messages": float(self._msgs.max(initial=0)),
+            "max_items_cached": float(self.max_items_cached()),
+            "total_copies": float(self.total_copies()),
+            "trees": float(int(self._touched.sum())),
+            "n": float(self.net.n),
+        }

@@ -22,6 +22,14 @@ The guarantees validated by experiments E7–E9:
 * Theorem 3.6 / 3.8 — per-server cache hits ``O(log² n)``, per-server
   stored items ``O(log n)``;
 * content update — ``O(log n)`` messages/time down the active tree.
+
+Hot-key salting (mitigation mode, selectable in this scalar engine and in
+:class:`~repro.core.batch_cache.BatchCacheEngine`): with ``salts = s > 1``
+each item is spread over ``s`` deterministic *salt points* — a request
+picks the salt from its source position (:func:`salt_indices`), routes to
+the tree rooted at ``h(salted_key(item, j))``, and per-item statistics
+merge the ``s`` per-salt trees.  The salt choice is a pure function of
+the source's float bits, so scalar and batch engines agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -34,11 +42,45 @@ import numpy as np
 
 from ..hashing.kwise import Key
 from .continuous import Digits
+from .interval import normalize
 from .lookup import LookupResult, dh_lookup
 from .network import DistanceHalvingNetwork
 from .pathtree import PathTree
 
-__all__ = ["ActiveTree", "CacheSystem", "CachedLookup"]
+__all__ = ["ActiveTree", "CacheSystem", "CachedLookup", "salt_indices",
+           "salted_key"]
+
+#: Fibonacci-hash multiplier (odd, well-mixed high bits) for salt choice.
+_SALT_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+def salt_indices(points: np.ndarray, salts: int) -> np.ndarray:
+    """Deterministic salt choice per source point, identical scalar/batch.
+
+    Views each normalized float64 source as its raw bit pattern, mixes
+    with a Fibonacci-hash multiply, and reduces mod ``salts``.  A pure
+    function of the float bits — no RNG — so the scalar engine and the
+    batch engine route any given source to the same salt tree.
+    """
+    if salts < 1:
+        raise ValueError("salts must be >= 1")
+    pts = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    if salts == 1:
+        return np.zeros(pts.shape, dtype=np.int64)
+    bits = pts.view(np.uint64)
+    mixed = bits * _SALT_MIX  # uint64 wrap-around multiply
+    mixed = mixed ^ (mixed >> np.uint64(29))
+    return (mixed % np.uint64(salts)).astype(np.int64)
+
+
+def salted_key(item: Key, salt: int) -> str:
+    """Routing key of one salt copy of ``item``.
+
+    Uses ``repr`` so distinct key types cannot collide (``1`` vs ``"1"``)
+    and feeds the network's :class:`~repro.hashing.kwise.PointHasher`
+    like any other string key.
+    """
+    return f"{item!r}#salt{int(salt)}"
 
 
 class ActiveTree:
@@ -112,6 +154,15 @@ class ActiveTree:
         A parent whose children are all leaves deletes them when every
         child supplied fewer than ``c`` requests; the deletion recurses
         within the same epoch.  Returns the number of deactivated nodes.
+
+        Order-independence audit (step-2 recursion): every collapse
+        decision reads only the *ended* epoch's ``served`` counters,
+        which this pass never mutates — collapsing a sibling group can
+        only turn its parent into a leaf, i.e. *enable* further
+        collapses, never disable one.  The while-changed sweep therefore
+        reaches a unique fixpoint regardless of scan order, and the
+        counters are handed to ``supplied_prev`` only after the sweep
+        finishes.  Pinned by ``TestAdvanceEpochOrderIndependence``.
         """
         removed = 0
         changed = True
@@ -179,12 +230,21 @@ class CacheSystem:
     log n" (§3.1).  Requests are routed with the standard Distance
     Halving lookup; the phase-II ascent stops at the deepest active node,
     which supplies the item.
+
+    ``salts > 1`` turns on the hot-key mitigation mode: each request
+    routes to one of ``salts`` deterministic salt trees of its item
+    (chosen from the source position by :func:`salt_indices`), spreading
+    a single hotspot's load over ``salts`` independent tree roots.
     """
 
-    def __init__(self, net: DistanceHalvingNetwork, threshold: Optional[int] = None):
+    def __init__(self, net: DistanceHalvingNetwork, threshold: Optional[int] = None,
+                 salts: int = 1):
+        if int(salts) < 1:
+            raise ValueError("salts must be >= 1")
         self.net = net
         n = max(2, net.n)
         self.c = int(threshold) if threshold is not None else max(1, int(np.ceil(np.log2(n))))
+        self.salts = int(salts)
         self.trees: Dict[Key, ActiveTree] = {}
         # per-server counters for the §3 guarantees
         self.cache_hits: Counter = Counter()       # requests supplied per server
@@ -196,6 +256,29 @@ class CacheSystem:
             root = self.net.item_hash(item)
             self.trees[item] = ActiveTree(PathTree(root, self.net.graph), self.c)
         return self.trees[item]
+
+    def route_key(self, item: Key, source_point: float) -> Key:
+        """The key a request actually routes to (its salt copy, if salted)."""
+        if self.salts == 1:
+            return item
+        src = normalize(float(source_point))
+        salt = int(salt_indices(np.asarray([src]), self.salts)[0])
+        return salted_key(item, salt)
+
+    def _salt_keys(self, item: Key) -> List[Key]:
+        if self.salts == 1:
+            return [item]
+        return [salted_key(item, j) for j in range(self.salts)]
+
+    def item_replications(self, item: Key) -> int:
+        """Total child activations of an item, merged over its salt trees."""
+        return sum(self.trees[k].replications for k in self._salt_keys(item)
+                   if k in self.trees)
+
+    def item_copies(self, item: Key) -> int:
+        """Active copies beyond the roots, merged over the item's salt trees."""
+        return sum(self.trees[k].size() - 1 for k in self._salt_keys(item)
+                   if k in self.trees)
 
     # -------------------------------------------------------------- requests
     def request(
@@ -210,11 +293,13 @@ class CacheSystem:
         Runs the Distance Halving lookup toward ``h(item)``; the message
         stops at the deepest active cache node on its phase-II branch.
         All servers the message visits get their message counters bumped;
-        the serving server gets a cache hit.
+        the serving server gets a cache hit.  In salted mode the request
+        routes toward its salt copy's root instead of ``h(item)``.
         """
-        target = self.net.item_hash(item)
+        routed = self.route_key(item, source_point)
+        target = self.net.item_hash(routed)
         res = dh_lookup(self.net, source_point, target, rng, tau=tau)
-        tree = self.tree_for(item)
+        tree = self.tree_for(routed)
         digits = res.phase2_digits
         node, replicated = tree.serve(digits)
         if replicated:

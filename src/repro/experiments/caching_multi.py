@@ -1,15 +1,23 @@
-"""E8 — multiple hotspots (Theorem 3.8).
+"""E8 — multiple hot spots at scale (Theorem 3.8, arbitrary demand).
 
-Arbitrary demands ``q_i`` with ``Σ q_i = n`` over ``n`` items, hashed by
-a ``log n``-wise independent function; c = Θ(log n).  Claims:
+Per the §3.4 model each epoch carries an arbitrary demand over ``n``
+items summing to ``n`` (one request per server on average); the full
+cells sustain that demand for as many epochs as it takes to push ≥ 10⁶
+requests through each network — Zipf(1.2) skew redrawn every epoch, and
+an adversarial fixed demand hammering 8 items — all through the
+vectorized :class:`~repro.core.batch_cache.BatchCacheEngine` with an
+``advance_epoch`` collapse at every boundary.  Measured:
 
-(i)  max distinct items cached at any server = O(log n) w.h.p.;
-(ii) max times any server supplies a data item = O(log² n) w.h.p.
-     (expected O(|s(V)|·n) = O(1) per server for smooth ids).
-
-Workloads: Zipf(1.2) demand (realistic skew) and an all-on-8-items
-adversarial demand.  A no-caching baseline column shows what the hottest
-owner would suffer.
+* ≤ ``O(log n)`` distinct items cached per server (Theorem 3.8 (i)),
+  measured at the final epoch's peak;
+* every server supplies ``O(log² n)`` requests **per epoch**
+  (Theorem 3.8 (ii)) — cumulative hits checked against
+  ``8 · epochs · log² n``;
+* the hottest item's demand is spread: no server supplies more than the
+  hottest item demanded in total;
+* a scalar bit-parity cell at n = 128 (salted, multi-item, two epochs):
+  the engine must replay exactly on the scalar
+  :class:`~repro.core.caching.CacheSystem` (PR 4/5 recipe).
 """
 
 from __future__ import annotations
@@ -20,73 +28,92 @@ from typing import Dict, List
 import numpy as np
 
 from ..balance import MultipleChoice
-from ..core import CacheSystem, DistanceHalvingNetwork
-from ..sim.workload import single_hotspot_demands, zipf_demands
+from ..core import BatchCacheEngine, DistanceHalvingNetwork
 from ..sim.rng import spawn_many
+from ..sim.workload import DH_TAU_DIGITS, demand_stream, zipf_demands
+from .caching_bench import trace_parity
 from .common import ExperimentResult, register, timed
-
-
-def _drive(net, cache, demands, pts, route) -> None:
-    reqs = []
-    for item, q in enumerate(demands):
-        reqs.extend([f"item{item}"] * q)
-    order = route.permutation(len(reqs))
-    for k in order:
-        src = pts[int(route.integers(len(pts)))]
-        cache.request(reqs[int(k)], src, route)
 
 
 @register("E8")
 def run(seed: int = 8, quick: bool = False) -> ExperimentResult:
     def body() -> ExperimentResult:
-        sizes = [128, 512] if quick else [128, 256, 512, 1024]
+        sizes = [128, 512] if quick else [1024, 4096, 16384]
+        workloads = ["zipf", "adversarial"]
         rows: List[Dict] = []
-        items_ok = supply_ok = True
+        checks: Dict[str, bool] = {}
+        items_ok = supply_ok = spread_ok = True
         for n in sizes:
-            for workload in ("zipf", "adversarial"):
-                rng, route, drng = spawn_many(seed * 37 + n + (workload == "zipf"), 3)
+            for workload in workloads:
+                rng, route, drng = spawn_many(
+                    seed * 37 + n + (workload == "zipf"), 3)
                 net = DistanceHalvingNetwork(rng=rng)
                 net.populate(n, selector=MultipleChoice(t=4))
-                cache = CacheSystem(net, threshold=max(2, int(math.ceil(math.log2(n)))))
-                pts = list(net.points())
-                if workload == "zipf":
-                    demands = zipf_demands(n, n, drng, exponent=1.2)
-                else:
-                    demands = [0] * n
-                    for j in range(8):
-                        demands[j] = n // 8
-                _drive(net, cache, demands, pts, route)
-                max_items = cache.max_items_cached()
-                max_supply = max(cache.cache_hits.values(), default=0)
-                hottest_q = max(demands)
+                c = max(2, int(math.ceil(math.log2(n))))
+                epochs = 4 if quick else max(1, math.ceil(1_000_000 / n))
+                labels = [f"item{j}" for j in range(n)]
+                engine = BatchCacheEngine(net, labels, threshold=c)
+                pts = net.segments.as_array()
+                total_demand = np.zeros(n, dtype=np.int64)
+                max_items = 0
+                for e in range(epochs):
+                    if workload == "zipf":
+                        demands = zipf_demands(n, n, drng, exponent=1.2)
+                    else:
+                        demands = [n // 8 if j < 8 else 0 for j in range(n)]
+                    stream = demand_stream(demands, drng)
+                    src = pts[route.integers(0, n, size=stream.size)]
+                    engine.serve_batch(stream, src, rng=route)
+                    total_demand += np.asarray(demands, dtype=np.int64)
+                    # Thm 3.8 (i) is a statement about the live epoch:
+                    # measure at the peak, before the collapse
+                    if e == epochs - 1:
+                        max_items = engine.max_items_cached()
+                    engine.advance_epoch()
+                total_q = int(total_demand.sum())
+                max_supply = int(engine.server_cache_hits().max())
+                hottest_q = int(total_demand.max())
                 logn = math.log2(n)
                 items_ok &= max_items <= 4 * logn
-                supply_ok &= max_supply <= 8 * logn**2
+                supply_ok &= max_supply <= 8 * epochs * logn**2
+                spread_ok &= max_supply < hottest_q or hottest_q <= logn**2
                 rows.append(
                     {
                         "n": n,
                         "workload": workload,
-                        "c": cache.c,
-                        "max_items_cached": max_items,
-                        "log n": round(logn, 1),
+                        "epochs": epochs,
+                        "q_total": total_q,
+                        "c": c,
+                        "max_items": max_items,
+                        "4·logn": round(4 * logn, 0),
                         "max_supply": max_supply,
-                        "log²n": round(logn**2, 0),
-                        "copies": cache.total_copies(),
-                        "hottest_q(no-cache load)": hottest_q,
+                        "8e·log²n": round(8 * epochs * logn**2, 0),
+                        "hottest_q": hottest_q,
+                        "copies": engine.total_copies(),
                     }
                 )
-        checks = {
-            "Thm 3.8(i): max items cached per server O(log n)": items_ok,
-            "Thm 3.8(ii): max supplies per server O(log² n)": supply_ok,
-            "caching spreads hottest item below its raw demand": all(
-                r["max_supply"] < r["hottest_q(no-cache load)"] or r["hottest_q(no-cache load)"] <= r["log²n"]
-                for r in rows
-            ),
-        }
+        # scalar bit-parity cell: multi-item Zipf, salted, two epochs
+        pn, pq = 128, 360
+        prng, proute, pdrng = spawn_many(seed * 37 + pn + 7, 3)
+        pnet = DistanceHalvingNetwork(rng=prng)
+        pnet.populate(pn, selector=MultipleChoice(t=4))
+        p_items = [f"item{j}" for j in range(16)]
+        w = np.arange(1, 17, dtype=np.float64) ** -1.2
+        p_idx = pdrng.choice(16, size=pq, p=w / w.sum())
+        p_src = pnet.segments.as_array()[proute.integers(0, pn, size=pq)]
+        p_tau = proute.integers(0, 2, size=(pq, DH_TAU_DIGITS))
+        parity_ok = trace_parity(pnet, p_items, p_idx, p_src, p_tau,
+                                 threshold=5, salts=2, epochs=2)
+
+        checks["Thm 3.8(i): ≤ 4·log n items cached per server"] = items_ok
+        checks["Thm 3.8(ii): supply ≤ 8·epochs·log² n per server"] = supply_ok
+        checks["hot demand spread below the hottest item's total"] = spread_ok
+        checks["batch/scalar bit parity at n=128 (salted, 2 epochs)"] = bool(
+            parity_ok)
         return ExperimentResult(
             experiment="E8",
-            title="Multiple hotspots (Theorem 3.8)",
-            paper_claim="caches O(log n) items/server; supplies O(log² n)/server",
+            title="Multiple hot spots under sustained demand (Thm 3.8)",
+            paper_claim="O(log n) items/server, O(log² n) supplied requests per epoch",
             rows=rows,
             checks=checks,
         )

@@ -33,6 +33,7 @@ __all__ = [
     "shift_permutation",
     "zipf_demands",
     "single_hotspot_demands",
+    "demand_stream",
     "adversarial_point_demands",
     "pairs_to_arrays",
     "route_pairs",
@@ -192,6 +193,21 @@ def single_hotspot_demands(n_items: int, total: int, hot_index: int = 0) -> List
     q = [0] * n_items
     q[hot_index] = total
     return q
+
+
+def demand_stream(demands: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Expand a demand vector into a shuffled item-index request stream.
+
+    The array form of the request interleaving the scalar experiments
+    built with Python lists: item ``i`` appears ``demands[i]`` times, in
+    a uniformly random arrival order — ready to feed
+    :meth:`~repro.core.batch_cache.BatchCacheEngine.serve_batch`.
+    """
+    counts = np.asarray(demands, dtype=np.int64)
+    if (counts < 0).any():
+        raise ValueError("demands must be non-negative")
+    stream = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    return rng.permutation(stream)
 
 
 def funnel_workload(net, c: float = 0.37, depth: int = 4) -> List[Tuple[float, float]]:

@@ -6,13 +6,14 @@ content-update claim — plus the discrete mapping of active nodes to
 servers (Figure 3).
 """
 
+import itertools
 import math
 
 import numpy as np
 import pytest
 
 from repro.core import CacheSystem, DistanceHalvingNetwork
-from repro.core.caching import ActiveTree
+from repro.core.caching import ActiveTree, salt_indices, salted_key
 from repro.core.pathtree import PathTree
 
 
@@ -109,6 +110,152 @@ class TestActiveTreeProtocol:
     def test_threshold_validation(self):
         with pytest.raises(ValueError):
             ActiveTree(PathTree(0.1), threshold=0)
+
+
+def _reference_collapse(active, served, c, delta=2):
+    """Order-free fixpoint of steps 2–3 against *frozen* epoch counts."""
+    active = set(active)
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        parents = {a[:-1] for a in active if a != ()}
+        for parent in sorted(parents, key=len, reverse=True):
+            siblings = [parent + (d,) for d in range(delta)]
+            if not all(s in active for s in siblings):
+                continue
+            if any(any(s + (d,) in active for d in range(delta))
+                   for s in siblings):
+                continue  # not all leaves
+            if all(served.get(s, 0) < c for s in siblings):
+                for s in siblings:
+                    active.discard(s)
+                    removed += 1
+                changed = True
+    return active, removed
+
+
+class TestAdvanceEpochOrderIndependence:
+    """Regression pin for the step-2 recursion audit (ISSUE 6).
+
+    The audit verdict: ``advance_epoch`` is order-independent because
+    collapse decisions read only the ended epoch's ``served`` counters,
+    which the sweep never mutates — these tests freeze that contract.
+    """
+
+    def test_decisions_use_current_epoch_counts_not_supplied_prev(self):
+        tree = ActiveTree(PathTree(0.5), threshold=2)
+        tree.active |= {(0,), (1,)}
+        tree.served[(0,)] = 5
+        tree.served[(1,)] = 5
+        tree.advance_epoch()
+        assert tree.size() == 3  # hot children survive their own epoch
+        assert tree.supplied_prev[(0,)] == 5
+        # next epoch is quiet: the (now stale) supplied_prev counts must
+        # not keep the children alive
+        removed = tree.advance_epoch()
+        assert removed == 2
+        assert tree.active == {()}
+
+    def test_mixed_sibling_counts_block_the_group(self):
+        tree = ActiveTree(PathTree(0.5), threshold=3)
+        tree.active |= {(0,), (1,)}
+        tree.served[(0,)] = 3   # exactly c: not cold
+        tree.served[(1,)] = 2   # c - 1: cold
+        assert tree.advance_epoch() == 0
+        assert tree.size() == 3
+
+    def test_cascade_does_not_consume_counts_mid_pass(self):
+        # depth-2 tree where the deep group collapses and thereby turns
+        # its parent into a leaf: the parent group must then be judged by
+        # the same frozen counters, in the same call
+        tree = ActiveTree(PathTree(0.5), threshold=2)
+        tree.active |= {(0,), (1,), (0, 0), (0, 1)}
+        tree.served[(0, 0)] = 1
+        tree.served[(0, 1)] = 0
+        tree.served[(1,)] = 1
+        removed = tree.advance_epoch()
+        assert removed == 4
+        assert tree.active == {()}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_order_free_reference(self, seed):
+        """Random prefix-closed forests: the scalar sweep reaches exactly
+        the reference fixpoint computed against frozen counts."""
+        rng = np.random.default_rng(seed)
+        c = int(rng.integers(1, 5))
+        tree = ActiveTree(PathTree(0.3), threshold=c)
+        # grow a random prefix-closed active set with full sibling groups
+        frontier = [()]
+        for _ in range(int(rng.integers(1, 8))):
+            node = frontier[int(rng.integers(len(frontier)))]
+            if len(node) >= 6:
+                continue
+            kids = [node + (0,), node + (1,)]
+            if kids[0] not in tree.active:
+                tree.active |= set(kids)
+                frontier.extend(kids)
+        for addr in list(tree.active):
+            if rng.random() < 0.5:
+                tree.served[addr] = int(rng.integers(0, 2 * c))
+        expect_active, expect_removed = _reference_collapse(
+            tree.active, dict(tree.served), c)
+        removed = tree.advance_epoch()
+        assert tree.active == expect_active
+        assert removed == expect_removed
+
+
+class TestSaltHelpers:
+    def test_salt_indices_deterministic_and_in_range(self):
+        pts = np.random.default_rng(0).random(1000)
+        for s in (1, 2, 5):
+            idx = salt_indices(pts, s)
+            assert idx.min() >= 0 and idx.max() < s
+            assert (idx == salt_indices(pts, s)).all()
+        assert (salt_indices(pts, 1) == 0).all()
+
+    def test_salt_indices_spread(self):
+        pts = np.random.default_rng(1).random(4000)
+        counts = np.bincount(salt_indices(pts, 4), minlength=4)
+        assert (counts > 500).all()  # roughly balanced, no dead salt
+
+    def test_salt_indices_validation(self):
+        with pytest.raises(ValueError):
+            salt_indices(np.asarray([0.5]), 0)
+
+    def test_salted_keys_distinct(self):
+        keys = {salted_key(item, j)
+                for item, j in itertools.product(["x", 1, "1"], range(3))}
+        assert len(keys) == 9  # types and salts never collide
+
+
+class TestSaltedCacheSystem:
+    def test_salts_route_to_salted_trees(self):
+        net, rng = make_net(128, seed=20)
+        cache = CacheSystem(net, threshold=2, salts=3)
+        drive_requests(cache, net, rng, "hot", 150)
+        assert all(isinstance(k, str) and "#salt" in k for k in cache.trees)
+        assert cache.item_replications("hot") == sum(
+            t.replications for t in cache.trees.values())
+        assert cache.item_copies("hot") == cache.total_copies()
+
+    def test_salts_one_is_the_plain_protocol(self):
+        net, rng = make_net(64, seed=21)
+        cache = CacheSystem(net, threshold=2)
+        assert cache.route_key("hot", 0.25) == "hot"
+        drive_requests(cache, net, rng, "hot", 50)
+        assert set(cache.trees) == {"hot"}
+
+    def test_salted_requests_still_shorten_paths(self):
+        net, rng = make_net(64, seed=22)
+        cache = CacheSystem(net, threshold=2, salts=2)
+        for r in drive_requests(cache, net, rng, "hot", 100):
+            assert r.hops <= r.lookup.hops
+
+    def test_salts_validation(self):
+        net, _ = make_net(16, seed=23)
+        with pytest.raises(ValueError):
+            CacheSystem(net, salts=0)
 
 
 class TestObservation31:

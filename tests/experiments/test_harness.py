@@ -79,6 +79,14 @@ class TestQuickRuns:
         res = get_experiment("E5")(quick=True)
         assert res.passed, res.render()
 
+    def test_flash_crowd_caching_passes(self):
+        res = get_experiment("E7")(quick=True)
+        assert res.passed, res.render()
+
+    def test_multi_hotspot_caching_passes(self):
+        res = get_experiment("E8")(quick=True)
+        assert res.passed, res.render()
+
     def test_emulation_passes(self):
         res = get_experiment("E15")(quick=True)
         assert res.passed, res.render()
