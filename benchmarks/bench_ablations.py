@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.balance import MultipleChoice
 from repro.core import CacheSystem, DistanceHalvingNetwork, dh_lookup, fast_lookup

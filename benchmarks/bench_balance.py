@@ -1,6 +1,5 @@
 """Benchmarks for id balancing (experiments E10/E11; §4)."""
 
-import math
 
 import numpy as np
 import pytest

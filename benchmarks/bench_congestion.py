@@ -11,7 +11,6 @@ milestone.
 
 import math
 
-import numpy as np
 
 from repro.core import (
     BatchCongestion,

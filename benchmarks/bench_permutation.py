@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 
 from repro.core import CongestionCounter, dh_lookup
 from repro.sim.workload import bit_reversal_permutation, random_permutation

@@ -1,11 +1,13 @@
-"""Benchmarks regenerating Table 1 (experiment E1).
+"""Benchmarks for the Table 1 baseline batch routers (experiment E1).
 
-One timing per lookup scheme (the routed-lookup kernel that produces the
-path-length/congestion columns), plus a shape assertion comparing the
-measured classes at n = 256.
+One kernel per scheme: a 10k-lookup batch through the scheme's compiled
+:class:`~repro.baselines.base.BaselineBatchRouter` on a shared n=1024
+overlay, plus the scalar per-hop loop one scheme (Chord) keeps as the
+speedup reference.  The headline test runs the full shoot-out driver
+(:func:`repro.experiments.baseline_bench.measure_baselines`) and asserts
+every scheme clears the speedup floor with a bit-identical scalar
+replay — the measurement the ``bench-baselines`` CLI gate ships to CI.
 """
-
-import math
 
 import numpy as np
 import pytest
@@ -18,14 +20,71 @@ from repro.baselines import (
     KoordeNetwork,
     TapestryNetwork,
     ViceroyNetwork,
-    measure_scheme,
 )
+from repro.core.routing_stats import BatchCongestion
+from repro.experiments.baseline_bench import measure_baselines
 
-N = 256
+N = 1024
+LOOKUPS = 10_000
 
 
-def _bench_lookups(benchmark, dht, seed=5):
+@pytest.fixture(scope="module")
+def nets():
+    rng = np.random.default_rng(11)
+    return {
+        "chord": ChordNetwork(N, rng),
+        "tapestry": TapestryNetwork(N, rng, base=2),
+        "can": CanNetwork(N, rng, d=2),
+        "small-world": KleinbergRing(N, rng),
+        "viceroy": ViceroyNetwork(N, rng),
+        "koorde": KoordeNetwork(N, rng),
+        "dh-fast": DistanceHalvingAdapter(N, rng, delta=2, mode="fast"),
+    }
+
+
+def _bench_batch(benchmark, dht, seed=5):
+    router = dht.batch_router()
     rng = np.random.default_rng(seed)
+    src = rng.integers(0, N, size=LOOKUPS)
+    tgt = rng.random(LOOKUPS)
+
+    res = benchmark(router.route_batch, src, tgt)
+    assert res.size == LOOKUPS
+    assert (res.hops >= 0).all()
+
+
+def test_chord_batch(benchmark, nets):
+    _bench_batch(benchmark, nets["chord"])
+
+
+def test_tapestry_batch(benchmark, nets):
+    _bench_batch(benchmark, nets["tapestry"])
+
+
+def test_can_batch(benchmark, nets):
+    _bench_batch(benchmark, nets["can"])
+
+
+def test_small_world_batch(benchmark, nets):
+    _bench_batch(benchmark, nets["small-world"])
+
+
+def test_viceroy_batch(benchmark, nets):
+    _bench_batch(benchmark, nets["viceroy"])
+
+
+def test_koorde_batch(benchmark, nets):
+    _bench_batch(benchmark, nets["koorde"])
+
+
+def test_distance_halving_batch(benchmark, nets):
+    _bench_batch(benchmark, nets["dh-fast"])
+
+
+def test_chord_scalar_baseline(benchmark, nets):
+    """The per-hop loop the batch routers replace (speedup reference)."""
+    dht = nets["chord"]
+    rng = np.random.default_rng(7)
     ids = list(dht.node_ids())
 
     def run():
@@ -36,46 +95,38 @@ def _bench_lookups(benchmark, dht, seed=5):
     assert len(path) >= 1
 
 
-@pytest.fixture(scope="module")
-def build_rng():
-    return np.random.default_rng(11)
+def test_batch_accounting_kernel(benchmark, nets):
+    """Route-and-account: the E1 cell measurement inner loop."""
+    router = nets["chord"].batch_router()
+    rng = np.random.default_rng(9)
+    src = rng.integers(0, N, size=LOOKUPS)
+    tgt = rng.random(LOOKUPS)
+
+    def run():
+        cong = BatchCongestion()
+        return router.route_chunked(src, tgt, congestion=cong, chunk=4096)
+
+    hops, owners = benchmark(run)
+    assert hops.size == LOOKUPS and owners.size == LOOKUPS
 
 
-def test_chord_lookup(benchmark, build_rng):
-    _bench_lookups(benchmark, ChordNetwork(N, build_rng))
+def test_shootout_headline(nets):
+    """Acceptance: every scheme ≥3x over scalar at n=1024, bit-parity.
 
-
-def test_tapestry_lookup(benchmark, build_rng):
-    _bench_lookups(benchmark, TapestryNetwork(N, build_rng))
-
-
-def test_can_lookup(benchmark, build_rng):
-    _bench_lookups(benchmark, CanNetwork(N, build_rng, d=2))
-
-
-def test_small_world_lookup(benchmark, build_rng):
-    _bench_lookups(benchmark, KleinbergRing(N, build_rng))
-
-
-def test_viceroy_lookup(benchmark, build_rng):
-    _bench_lookups(benchmark, ViceroyNetwork(N, build_rng))
-
-
-def test_koorde_lookup(benchmark, build_rng):
-    _bench_lookups(benchmark, KoordeNetwork(N, build_rng))
-
-
-def test_distance_halving_lookup(benchmark, build_rng):
-    _bench_lookups(benchmark, DistanceHalvingAdapter(N, build_rng, delta=2))
-
-
-def test_table1_shape(build_rng):
-    """Who wins: DH path ≈ Chord path with O(1) vs O(log n) linkage."""
-    rng = np.random.default_rng(21)
-    chord = measure_scheme(ChordNetwork(N, build_rng), rng, lookups=300)
-    dh = measure_scheme(DistanceHalvingAdapter(N, build_rng, delta=2), rng, lookups=300)
-    can = measure_scheme(CanNetwork(N, build_rng, d=2), rng, lookups=300)
-    assert dh.mean_path <= 3 * chord.mean_path          # same log-class
-    assert dh.mean_degree <= 12                          # constant linkage
-    assert chord.mean_degree >= math.log2(N) / 2         # log linkage
-    assert can.mean_path >= chord.mean_path              # n^{1/2} ≥ log n here
+    The CI gate (``bench-baselines --min-speedup 5``) runs at n=16384
+    where the scalar loops are slower per hop; this in-suite floor is the
+    conservative small-n version of the same measurement.
+    """
+    result = measure_baselines(n=N, lookups=20_000, seed=3, scalar_sample=200)
+    assert result["all_parity_ok"], {
+        k: v["parity_ok"] for k, v in result["schemes"].items()
+    }
+    assert result["min_speedup_measured"] >= 3.0, {
+        k: round(v["speedup"], 1) for k, v in result["schemes"].items()
+    }
+    # qualitative Table 1 shape at this size: CAN's n^{1/2} path is the
+    # longest pure-geometry route and DH keeps constant linkage vs
+    # Chord's log n fingers
+    s = result["schemes"]
+    assert s["can"]["mean_path"] > s["chord"]["mean_path"]
+    assert s["dh-fast"]["mean_degree"] < s["chord"]["mean_degree"]

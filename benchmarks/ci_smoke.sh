@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# The bench smoke gates CI runs, in one place (CI invokes this script;
+# run it locally to reproduce the exact CI measurement).
+#
+# Each subcommand exits non-zero when its parity check fails or its
+# speedup floor is missed, and writes its measurement dict as a JSON
+# artifact under $OUT_DIR — CI uploads those and diffs them against the
+# committed references in benchmarks/baselines/ via bench-compare.
+#
+# Usage: benchmarks/ci_smoke.sh [OUT_DIR]   (default: bench-artifacts)
+set -euo pipefail
+
+OUT_DIR="${1:-bench-artifacts}"
+export PYTHONPATH="${PYTHONPATH:-src}"
+
+run() {
+  echo
+  echo "== $*"
+  "$@"
+}
+
+run python -m repro.cli bench-throughput --n 1024 \
+  --json-out "$OUT_DIR/BENCH_throughput.json"
+
+run python -m repro.cli bench-churn \
+  --n 1024 --lookups 20000 --churn-ops 64 --mass-n 512 \
+  --json-out "$OUT_DIR/BENCH_churn.json"
+
+run python -m repro.cli bench-congestion \
+  --n 1024 --lookups 20000 --scalar-sample 400 --min-speedup 5 \
+  --json-out "$OUT_DIR/BENCH_congestion.json"
+
+run python -m repro.cli bench-faults \
+  --n 1024 --pairs 20000 --scalar-sample 200 --min-speedup 5 \
+  --json-out "$OUT_DIR/BENCH_faults.json"
+
+run python -m repro.cli bench-caching \
+  --n 1024 --requests 50000 --scalar-sample 400 \
+  --hotspot-requests 200000 --min-speedup 5 \
+  --json-out "$OUT_DIR/BENCH_caching.json"
+
+# Table 1 shoot-out across all seven baseline overlays.  The ≥5x
+# acceptance floor is measured at n=16384 (docs/BENCHMARKS.md); at the
+# smoke size the scalar loops are comparatively faster, so the smoke
+# gates the conservative 3x floor per topology.
+run python -m repro.cli bench-baselines \
+  --n 1024 --lookups 20000 --scalar-sample 200 --min-speedup 3 \
+  --json-out "$OUT_DIR/BENCH_baselines.json"
+
+echo
+echo "all bench smokes passed; artifacts in $OUT_DIR/"

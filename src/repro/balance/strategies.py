@@ -27,7 +27,6 @@ from typing import Optional, Protocol
 
 import numpy as np
 
-from ..core.interval import midpoint_between
 from ..core.segments import SegmentMap
 
 __all__ = [

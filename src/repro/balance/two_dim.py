@@ -26,7 +26,7 @@ Reproduction notes:
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 

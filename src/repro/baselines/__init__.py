@@ -1,23 +1,40 @@
 """Baseline lookup schemes for the Table 1 comparison."""
 
-from .base import BaselineDHT, MeasuredRow, measure_scheme
-from .can import CanNetwork
-from .chord import ChordNetwork
-from .dh_adapter import DistanceHalvingAdapter
-from .kleinberg import KleinbergRing
-from .koorde import KoordeNetwork
-from .tapestry import TapestryNetwork
-from .viceroy import ViceroyNetwork
+from .base import (
+    BaselineBatchResult,
+    BaselineBatchRouter,
+    BaselineDHT,
+    MeasuredRow,
+    measure_scheme,
+    measure_scheme_batch,
+)
+from .can import CanBatchRouter, CanNetwork
+from .chord import ChordBatchRouter, ChordNetwork
+from .dh_adapter import DistanceHalvingAdapter, DistanceHalvingBatchRouter
+from .kleinberg import KleinbergBatchRouter, KleinbergRing
+from .koorde import KoordeBatchRouter, KoordeNetwork
+from .tapestry import TapestryBatchRouter, TapestryNetwork
+from .viceroy import ViceroyBatchRouter, ViceroyNetwork
 
 __all__ = [
+    "BaselineBatchResult",
+    "BaselineBatchRouter",
     "BaselineDHT",
+    "CanBatchRouter",
     "CanNetwork",
+    "ChordBatchRouter",
     "ChordNetwork",
     "DistanceHalvingAdapter",
+    "DistanceHalvingBatchRouter",
+    "KleinbergBatchRouter",
     "KleinbergRing",
+    "KoordeBatchRouter",
     "KoordeNetwork",
     "MeasuredRow",
+    "TapestryBatchRouter",
     "TapestryNetwork",
+    "ViceroyBatchRouter",
     "ViceroyNetwork",
     "measure_scheme",
+    "measure_scheme_batch",
 ]

@@ -21,11 +21,21 @@ from __future__ import annotations
 import abc
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["BaselineDHT", "MeasuredRow", "measure_scheme"]
+from ..core.batch import levels_to_csr
+from ..core.routing_stats import BatchCongestion
+
+__all__ = [
+    "BaselineBatchResult",
+    "BaselineBatchRouter",
+    "BaselineDHT",
+    "MeasuredRow",
+    "measure_scheme",
+    "measure_scheme_batch",
+]
 
 
 class BaselineDHT(abc.ABC):
@@ -67,6 +77,12 @@ class BaselineDHT(abc.ABC):
         ids = list(self.node_ids())
         return sum(self.degree(v) for v in ids) / len(ids)
 
+    def batch_router(self) -> "BaselineBatchRouter":
+        """Compile this scheme's vectorized batch router (if ported)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batch router yet"
+        )
+
 
 @dataclass
 class MeasuredRow:
@@ -94,6 +110,143 @@ class MeasuredRow:
         }
 
 
+@dataclass
+class BaselineBatchResult:
+    """Array-of-structs outcome of one batch of baseline lookups.
+
+    The baseline counterpart of
+    :class:`~repro.core.batch.BatchLookupResult`: paths live in the same
+    CSR representation (``path_servers`` holds node *indices*,
+    ``path_offsets`` is the length-``size + 1`` prefix sum), so
+    :class:`~repro.core.routing_stats.BatchCongestion` books a whole
+    batch with one ``np.bincount`` via :meth:`to_csr` — the duck
+    interface ``record_batch`` consumes is ``to_csr()`` / ``points`` /
+    ``size`` / ``hops``.
+
+    ``points`` maps node index → congestion key: the ring id for the
+    float-identified schemes (Chord, Koorde, Viceroy, DH), or simply
+    ``float(index)`` for the integer-identified ones (CAN, Kleinberg,
+    Tapestry) — the same keys the scalar
+    :meth:`~repro.core.routing_stats.CongestionCounter.record_path`
+    sees, so summaries match bit-for-bit.
+    """
+
+    scheme: str
+    points: np.ndarray        # float64 congestion key of every node
+    source_idx: np.ndarray
+    owner_idx: np.ndarray
+    path_servers: np.ndarray  # int32 node indices, CSR values
+    path_offsets: np.ndarray  # int64 prefix sums, length size + 1
+
+    @property
+    def size(self) -> int:
+        return int(self.source_idx.size)
+
+    @property
+    def hops(self) -> np.ndarray:
+        """Per-lookup hop count (compressed path length − 1)."""
+        return np.diff(self.path_offsets) - 1
+
+    def to_csr(self) -> tuple:
+        return self.path_servers, self.path_offsets
+
+    def path_lengths(self) -> np.ndarray:
+        return np.diff(self.path_offsets)
+
+    def server_path(self, i: int) -> List[float]:
+        """Congestion keys of lookup ``i``'s path (scalar-comparable)."""
+        lo, hi = self.path_offsets[i], self.path_offsets[i + 1]
+        return [float(self.points[k]) for k in self.path_servers[lo:hi]]
+
+
+class _PathRecorder:
+    """Accumulates one row of node indices per batch hop level.
+
+    Rows are full-batch-width with ``-1`` marking "lane recorded
+    nothing this level"; :meth:`to_csr` hands the stack to the public
+    :func:`~repro.core.batch.levels_to_csr`, which drops the ``-1``
+    entries and compresses consecutive duplicates per lane — exactly
+    the scalar ``compress_path`` semantics, vectorized.
+    """
+
+    def __init__(self, size: int, first_row: np.ndarray):
+        self.size = size
+        self._rows: List[np.ndarray] = [
+            np.asarray(first_row, dtype=np.int32).copy()
+        ]
+
+    def append(self, lanes: np.ndarray, values: np.ndarray) -> None:
+        """Record ``values`` for the batch positions ``lanes``."""
+        row = np.full(self.size, -1, dtype=np.int32)
+        row[lanes] = values
+        self._rows.append(row)
+
+    def to_csr(self) -> tuple:
+        return levels_to_csr(self.size, [np.vstack(self._rows)])
+
+
+class BaselineBatchRouter(abc.ABC):
+    """Compiled (frozen-array) form of a baseline scheme.
+
+    The generalization of the :class:`~repro.core.batch.BatchRouter`
+    pattern to the Table 1 competitors: construction compiles the
+    topology to sorted id / finger / link index arrays, and
+    :meth:`route_batch` advances *every* pending lookup one hop level
+    per iteration — a gather + compare per level instead of a Python
+    loop per hop per lookup.  Every float comparison replicates the
+    scalar ``lookup_path`` operation ordering, so paths are
+    bit-identical (the ``tests/baselines`` parity suite asserts this).
+
+    Subclasses set ``scheme`` (display name) and ``node_keys`` (the
+    float64 congestion key per node index) and implement
+    :meth:`route_batch`.
+    """
+
+    scheme: str
+    node_keys: np.ndarray
+
+    @abc.abstractmethod
+    def route_batch(
+        self,
+        source_idx: np.ndarray,
+        targets: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BaselineBatchResult:
+        """Route one batch; sources are node indices, targets ∈ [0, 1)."""
+
+    def route_chunked(
+        self,
+        source_idx: np.ndarray,
+        targets: np.ndarray,
+        congestion: Optional[BatchCongestion] = None,
+        chunk: int = 8192,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple:
+        """Route a large workload in bounded-memory chunks.
+
+        Books every chunk into ``congestion`` (if given) and discards
+        its CSR arrays before routing the next, so peak memory is
+        O(chunk · max-path) regardless of the workload size.  Returns
+        ``(hops, owner_idx)`` arrays for the whole workload.
+        """
+        source_idx = np.asarray(source_idx, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.float64)
+        hops_parts: List[np.ndarray] = []
+        owner_parts: List[np.ndarray] = []
+        for lo in range(0, targets.size, max(1, chunk)):
+            res = self.route_batch(
+                source_idx[lo:lo + chunk], targets[lo:lo + chunk], rng=rng
+            )
+            if congestion is not None:
+                congestion.record_batch(res)
+            hops_parts.append(res.hops)
+            owner_parts.append(res.owner_idx)
+        return (
+            np.concatenate(hops_parts) if hops_parts else np.zeros(0, np.int64),
+            np.concatenate(owner_parts) if owner_parts else np.zeros(0, np.int64),
+        )
+
+
 def measure_scheme(
     dht: BaselineDHT, rng: np.random.Generator, lookups: int = 2000
 ) -> MeasuredRow:
@@ -119,6 +272,41 @@ def measure_scheme(
         mean_path=float(lengths.mean()),
         max_path=float(lengths.max()),
         max_congestion=max(visits.values()) / lookups,
+        mean_degree=dht.mean_degree(),
+        max_degree=dht.max_degree(),
+        lookups=lookups,
+    )
+
+
+def measure_scheme_batch(
+    dht: BaselineDHT,
+    rng: np.random.Generator,
+    lookups: int = 100_000,
+    chunk: int = 8192,
+    router: Optional[BaselineBatchRouter] = None,
+) -> MeasuredRow:
+    """Definition 3's experiment on the vectorized spine.
+
+    Same measurement as :func:`measure_scheme` — uniform sources,
+    uniform targets, max per-node visit frequency — but the whole
+    workload is batch-routed and accounted through
+    :class:`~repro.core.routing_stats.BatchCongestion`, which is what
+    lets E1/E6 run 10^5-lookup cells at n = 2^16.
+    """
+    br = router if router is not None else dht.batch_router()
+    n = dht.n
+    src = rng.integers(0, n, size=lookups)
+    targets = rng.random(lookups)
+    cong = BatchCongestion()
+    hops, _owners = br.route_chunked(
+        src, targets, congestion=cong, chunk=chunk, rng=rng
+    )
+    return MeasuredRow(
+        scheme=dht.name,
+        n=n,
+        mean_path=float(hops.mean()) if lookups else 0.0,
+        max_path=float(hops.max()) if lookups else 0.0,
+        max_congestion=cong.max_congestion(),
         mean_degree=dht.mean_degree(),
         max_degree=dht.max_degree(),
         lookups=lookups,

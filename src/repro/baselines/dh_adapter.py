@@ -8,7 +8,6 @@ Table 1 row "Distance Halving, 2 ≤ d ≤ √n" can be traced across ``d``.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -16,9 +15,9 @@ import numpy as np
 from ..balance.strategies import MultipleChoice
 from ..core.lookup import dh_lookup, fast_lookup
 from ..core.network import DistanceHalvingNetwork
-from .base import BaselineDHT
+from .base import BaselineBatchResult, BaselineBatchRouter, BaselineDHT
 
-__all__ = ["DistanceHalvingAdapter"]
+__all__ = ["DistanceHalvingAdapter", "DistanceHalvingBatchRouter"]
 
 
 class DistanceHalvingAdapter(BaselineDHT):
@@ -65,3 +64,50 @@ class DistanceHalvingAdapter(BaselineDHT):
         if self.mode == "fast":
             return fast_lookup(self.net, source, target).server_path
         return dh_lookup(self.net, source, target, rng).server_path
+
+    def batch_router(self) -> "DistanceHalvingBatchRouter":
+        return DistanceHalvingBatchRouter(self)
+
+
+class DistanceHalvingBatchRouter(BaselineBatchRouter):
+    """The DH engine's own :class:`~repro.core.batch.BatchRouter`, adapted.
+
+    Wraps ``net.compile_router()`` behind the baseline batch interface so
+    the cross-topology harness drives our construction exactly like the
+    competitors: node indices in, :class:`BaselineBatchResult` with CSR
+    paths out.  ``fast`` mode replays the scalar ``fast_lookup``
+    bit-for-bit (the core engine's own guarantee); ``dh`` mode draws its
+    digit strings from the supplied ``rng`` batch-wise, matching the
+    scalar algorithm in distribution.
+    """
+
+    def __init__(self, adapter: DistanceHalvingAdapter):
+        self.scheme = adapter.name
+        self._mode = adapter.mode
+        self._router = adapter.net.compile_router()
+        self.node_keys = self._router.points
+
+    def route_batch(
+        self,
+        source_idx: np.ndarray,
+        targets: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BaselineBatchResult:
+        src = np.asarray(source_idx, dtype=np.int64)
+        sources = self.node_keys[src]
+        if self._mode == "fast":
+            res = self._router.batch_fast_lookup(
+                sources, targets, keep_paths="csr"
+            )
+        else:
+            if rng is None:
+                raise ValueError("dh-mode batch routing needs an rng")
+            res = self._router.batch_dh_lookup(
+                sources, targets, rng=rng, keep_paths="csr"
+            )
+        servers, offsets = res.to_csr()
+        return BaselineBatchResult(
+            scheme=self.scheme, points=self.node_keys, source_idx=src,
+            owner_idx=res.owner_idx, path_servers=servers,
+            path_offsets=offsets,
+        )

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .base import BaselineDHT
+from .base import BaselineBatchResult, BaselineBatchRouter, BaselineDHT, _PathRecorder
 
-__all__ = ["KoordeNetwork"]
+__all__ = ["KoordeBatchRouter", "KoordeNetwork"]
 
 
 class KoordeNetwork(BaselineDHT):
@@ -30,11 +30,16 @@ class KoordeNetwork(BaselineDHT):
     def __init__(self, n: int, rng: np.random.Generator):
         if n < 2:
             raise ValueError("need at least two nodes")
-        self.points: List[float] = sorted(float(p) for p in rng.random(n))
+        self._pts: np.ndarray = np.sort(rng.random(n))
+        self.points: List[float] = self._pts.tolist()
         self.bits = max(1, math.ceil(math.log2(n))) + 2
-        self.debruijn: Dict[float, float] = {
-            x: self._predecessor((2 * x) % 1.0) for x in self.points
-        }
+        # De Bruijn pointer of every node at once: predecessor(2x mod 1)
+        self._db_idx: np.ndarray = (
+            np.searchsorted(self._pts, (2 * self._pts) % 1.0, side="right") - 1
+        ) % n
+        self.debruijn: Dict[float, float] = dict(
+            zip(self.points, self._pts[self._db_idx].tolist())
+        )
 
     # ------------------------------------------------------------- geometry
     def _successor(self, y: float) -> float:
@@ -65,6 +70,9 @@ class KoordeNetwork(BaselineDHT):
         succ = self._successor((node + 1e-15) % 1.0)
         pred = self._predecessor((node - 1e-15) % 1.0)
         return len({succ, pred, self.debruijn[node]} - {node})
+
+    def batch_router(self) -> "KoordeBatchRouter":
+        return KoordeBatchRouter(self)
 
     def lookup_path(self, source: float, target: float, rng: np.random.Generator
                     ) -> List[float]:
@@ -108,3 +116,77 @@ class KoordeNetwork(BaselineDHT):
                 path.append(nxt)
             current = nxt
         raise RuntimeError("koorde lookup failed to converge")  # pragma: no cover
+
+
+class KoordeBatchRouter(BaselineBatchRouter):
+    """Whole-batch imaginary-node routing over the compiled arrays.
+
+    Per-lane state is ``(current index, remaining target bits, shift
+    register, imaginary point)``; each iteration evaluates the scalar
+    loop body for every pending lookup at once — successor probe via
+    one ``searchsorted``, interval tests elementwise, the De Bruijn
+    gather where the imaginary point falls in the current segment.  All
+    float updates (``2i + b/2^B mod 1``) repeat the scalar operation
+    order, so the replay is bit-exact.
+    """
+
+    def __init__(self, net: KoordeNetwork):
+        self.scheme = net.name
+        self.node_keys = net._pts
+        self._db_idx = net._db_idx
+        self._bits = net.bits
+
+    def route_batch(
+        self,
+        source_idx: np.ndarray,
+        targets: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BaselineBatchResult:
+        pts = self.node_keys
+        n = pts.size
+        bits = self._bits
+        scale = float(1 << bits)
+        src = np.asarray(source_idx, dtype=np.int64)
+        tgt = np.asarray(targets, dtype=np.float64) % 1.0
+        size = src.size
+        own = np.searchsorted(pts, tgt) % n
+        rec = _PathRecorder(size, src)
+        live = np.arange(size)
+        cur = src.copy()
+        t = tgt.copy()
+        kshift = (t * scale).astype(np.int64)
+        bits_left = np.full(size, bits, dtype=np.int64)
+        imag = pts[np.searchsorted(pts, (pts[src] + 1e-15) % 1.0) % n]
+        imag = np.ceil(imag * scale) / scale % 1.0
+        for _ in range(8 * bits + 2 * n):
+            if live.size == 0:
+                break
+            cpt = pts[cur]
+            succ = np.searchsorted(pts, (cpt + 1e-15) % 1.0) % n
+            spt = pts[succ]
+            cw_s = (spt - cpt) % 1.0
+            cw_t = (t - cpt) % 1.0
+            done = (0 < cw_t) & (cw_t <= cw_s)
+            cw_i = (imag - cpt) % 1.0
+            use_db = ~done & (bits_left > 0) & (0 < cw_i) & (cw_i <= cw_s)
+            shift = np.maximum(bits_left - 1, 0)
+            b = np.where(use_db, (kshift >> shift) & 1, 0)
+            imag = np.where(use_db, (2 * imag + b / scale) % 1.0, imag)
+            bits_left = bits_left - use_db
+            nxt = np.where(use_db, self._db_idx[cur], succ)
+            # the scalar loop appends only on an actual move
+            moved = pts[nxt] != cpt
+            row = np.where(moved, nxt, -1)
+            rec.append(live, row)
+            cur = nxt
+            keep = ~done
+            live, cur, t = live[keep], cur[keep], t[keep]
+            kshift, bits_left, imag = kshift[keep], bits_left[keep], imag[keep]
+        if live.size:  # pragma: no cover - scalar bound, never hit
+            raise RuntimeError("koorde batch lookup failed to converge")
+        servers, offsets = rec.to_csr()
+        return BaselineBatchResult(
+            scheme=self.scheme, points=pts, source_idx=src, owner_idx=own,
+            path_servers=servers, path_offsets=offsets,
+        )
+

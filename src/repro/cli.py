@@ -41,10 +41,22 @@ subcommands:
                     loop, with a bit-identical trace replay on a side
                     network and a salted-vs-unsalted hotspot relief
                     check
+  bench-baselines   Table 1 shoot-out: route every baseline overlay
+                    (Chord, Tapestry, CAN, small-world, Viceroy,
+                    Koorde, DH) through its compiled batch router
+                    against its scalar lookup_path loop; every scheme
+                    must hold the --min-speedup floor and replay its
+                    scalar subsample bit-for-bit
+  bench-compare     regression gate: diff this run's bench-artifacts/
+                    BENCH_*.json against the committed references in
+                    benchmarks/baselines/; any throughput ("speedup" /
+                    "*_rate") value below (1 - tolerance)·reference or
+                    any parity flag flipping off fails the build;
+                    --update-refs re-baselines the references
 
 every bench-* subcommand accepts --json-out FILE to additionally write
 the measurement dict (plus the pass/fail verdict) as machine-readable
-JSON — the artifact CI uploads per run.
+JSON — the artifact CI uploads per run and bench-compare gates on.
 
 invocation: PYTHONPATH=src python -m repro.cli <subcommand> [options]
 """
@@ -230,6 +242,152 @@ def _bench_caching(args) -> int:
     print(f"[{verdict}] trace parity, salted relief and speedup ≥ "
           f"{args.min_speedup:g}x")
     _write_json_out(args.json_out, "bench-caching", result, ok)
+    return 0 if ok else 1
+
+
+def _bench_baselines(args) -> int:
+    from .experiments.baseline_bench import (
+        SCHEME_BUILDERS,
+        format_baselines_report,
+        measure_baselines,
+    )
+
+    if args.n < 8 or args.lookups < 1 or args.scalar_sample < 1:
+        print(
+            "bench-baselines: --n must be >= 8; --lookups and "
+            "--scalar-sample must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    schemes = None
+    if args.schemes:
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+        unknown = [s for s in schemes if s not in SCHEME_BUILDERS]
+        if unknown:
+            print(
+                f"bench-baselines: unknown scheme(s) {', '.join(unknown)}; "
+                f"have {', '.join(sorted(SCHEME_BUILDERS))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    result = measure_baselines(
+        n=args.n,
+        lookups=args.lookups,
+        seed=args.seed,
+        scalar_sample=args.scalar_sample,
+        schemes=schemes,
+        chunk=args.chunk,
+    )
+    print(format_baselines_report(result))
+    ok = (result["all_parity_ok"]
+          and result["min_speedup_measured"] >= args.min_speedup)
+    verdict = "PASS" if ok else "FAIL"
+    print(f"[{verdict}] per-topology parity and speedup ≥ "
+          f"{args.min_speedup:g}x for every scheme")
+    _write_json_out(args.json_out, "bench-baselines", result, ok)
+    return 0 if ok else 1
+
+
+def _compare_payload(ref, run, tolerance: float):
+    """Diff one reference artifact against the same run artifact.
+
+    Walks the nested dicts in parallel.  Gated leaves are (a) booleans —
+    a reference ``True`` (parity / verdict flag) may not flip off — and
+    (b) throughput numbers, i.e. keys containing ``speedup`` or ending in
+    ``_rate``, which must stay ≥ ``(1 - tolerance) ×`` the reference.
+    Everything else (sizes, seeds, path lengths, wall-clock seconds) is
+    informational and ignored.  Returns ``(findings, gated_count)``.
+    """
+    findings = []
+    gated = 0
+
+    def walk(prefix, r, c):
+        nonlocal gated
+        if isinstance(r, dict):
+            if not isinstance(c, dict):
+                findings.append((prefix or ".", "section missing from run"))
+                return
+            for key, rv in r.items():
+                walk(f"{prefix}.{key}" if prefix else key, rv, c.get(key))
+            return
+        leaf = prefix.rsplit(".", 1)[-1]
+        if isinstance(r, bool):
+            gated += 1
+            if r and c is not True:
+                findings.append((prefix, f"flag flipped: ref true, run {c!r}"))
+            return
+        if isinstance(r, (int, float)) and (
+            "speedup" in leaf or leaf.endswith("_rate")
+        ):
+            gated += 1
+            if not isinstance(c, (int, float)) or isinstance(c, bool):
+                findings.append((prefix, f"ref {r:g}, run {c!r}"))
+            elif c < r * (1.0 - tolerance):
+                findings.append(
+                    (prefix,
+                     f"regression: ref {r:g}, run {c:g} "
+                     f"({c / r:.0%} < {1.0 - tolerance:.0%} floor)")
+                )
+
+    walk("", ref, run)
+    return findings, gated
+
+
+def _bench_compare(args) -> int:
+    import glob
+    import json
+    import os
+    import shutil
+
+    if not 0.0 <= args.tolerance < 1.0:
+        print("bench-compare: --tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+    run_files = sorted(glob.glob(os.path.join(args.run_dir, "BENCH_*.json")))
+    if args.update_refs:
+        if not run_files:
+            print(f"bench-compare: no BENCH_*.json under {args.run_dir} to "
+                  "re-baseline from", file=sys.stderr)
+            return 2
+        os.makedirs(args.ref_dir, exist_ok=True)
+        for path in run_files:
+            dst = os.path.join(args.ref_dir, os.path.basename(path))
+            shutil.copyfile(path, dst)
+            print(f"updated {dst}")
+        return 0
+
+    ref_files = sorted(glob.glob(os.path.join(args.ref_dir, "BENCH_*.json")))
+    if not ref_files:
+        print(f"bench-compare: no reference artifacts under {args.ref_dir}",
+              file=sys.stderr)
+        return 2
+    failures = []
+    total_gated = 0
+    for ref_path in ref_files:
+        base = os.path.basename(ref_path)
+        with open(ref_path, encoding="utf-8") as fh:
+            ref = json.load(fh)
+        run_path = os.path.join(args.run_dir, base)
+        if not os.path.exists(run_path):
+            failures.append((base, ".", "run artifact missing"))
+            print(f"{base}: MISSING from {args.run_dir}")
+            continue
+        with open(run_path, encoding="utf-8") as fh:
+            run = json.load(fh)
+        found, gated = _compare_payload(ref, run, args.tolerance)
+        total_gated += gated
+        if found:
+            failures.extend((base, where, msg) for where, msg in found)
+            print(f"{base}: {len(found)} regression(s)")
+            for where, msg in found:
+                print(f"  {where}: {msg}")
+        else:
+            print(f"{base}: ok ({gated} gated values)")
+    ok = not failures
+    verdict = "PASS" if ok else "FAIL"
+    print(f"[{verdict}] {len(ref_files)} artifact(s), {total_gated} gated "
+          f"values, {len(failures)} regression(s) at "
+          f"{args.tolerance:.0%} tolerance")
     return 0 if ok else 1
 
 
@@ -457,6 +615,77 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the measurement dict + verdict as JSON",
     )
 
+    basep = sub.add_parser(
+        "bench-baselines",
+        help="Table 1 shoot-out: every baseline's batch router vs its "
+        "scalar loop (per-topology parity + speedup gate)",
+    )
+    basep.add_argument("--n", type=int, default=16384, help="network size")
+    basep.add_argument(
+        "--lookups", type=int, default=100_000,
+        help="batch workload size per scheme"
+    )
+    basep.add_argument(
+        "--scalar-sample",
+        type=int,
+        default=400,
+        help="lookups per scheme routed through the scalar lookup_path loop "
+        "(the batch replay of this subsample must match bit-for-bit)",
+    )
+    basep.add_argument(
+        "--schemes",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated scheme subset (default: all seven)",
+    )
+    basep.add_argument(
+        "--chunk", type=int, default=8192,
+        help="batch chunk size of the chunked measurement drive"
+    )
+    basep.add_argument("--seed", type=int, default=0)
+    basep.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="exit non-zero when ANY scheme's batch router is slower than "
+        "this factor over its scalar loop",
+    )
+    basep.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the measurement dict + verdict as JSON",
+    )
+
+    cmpp = sub.add_parser(
+        "bench-compare",
+        help="regression gate: diff run bench artifacts against committed "
+        "references (throughput floor + parity flags)",
+    )
+    cmpp.add_argument(
+        "--run-dir",
+        default="bench-artifacts",
+        help="directory holding this run's BENCH_*.json artifacts",
+    )
+    cmpp.add_argument(
+        "--ref-dir",
+        default="benchmarks/baselines",
+        help="directory holding the committed reference artifacts",
+    )
+    cmpp.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional throughput drop below the reference "
+        "before failing (default 0.30 = fail on >30%% regression)",
+    )
+    cmpp.add_argument(
+        "--update-refs",
+        action="store_true",
+        help="instead of comparing, copy the run artifacts over the "
+        "references (re-baseline after an intentional change)",
+    )
+
     args = parser.parse_args(argv)
 
     from .experiments.common import all_experiments
@@ -477,6 +706,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench_faults(args)
     if args.command == "bench-caching":
         return _bench_caching(args)
+    if args.command == "bench-baselines":
+        return _bench_baselines(args)
+    if args.command == "bench-compare":
+        return _bench_compare(args)
 
     names = args.names
     lowered = [n.lower() for n in names]

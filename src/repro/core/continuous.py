@@ -39,9 +39,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Sequence
 
-from .interval import Arc, Number, linear_distance, normalize
+from .interval import Arc, Number, normalize
 
 __all__ = ["ContinuousGraph", "Digits", "binary_digits", "digits_to_point"]
 

@@ -21,8 +21,7 @@ Key theorem hooks exposed here:
 
 from __future__ import annotations
 
-import math
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 

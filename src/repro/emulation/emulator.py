@@ -22,10 +22,9 @@ implements that variant.
 from __future__ import annotations
 
 import math
-from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections import Counter
+from typing import Dict, List, Optional, Set, Tuple
 
-import numpy as np
 
 from ..core.segments import SegmentMap
 from .families import GraphFamily

@@ -15,7 +15,6 @@ degree stress case:
 
 from __future__ import annotations
 
-import math
 from typing import List, Protocol
 
 __all__ = [

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, Hashable, List, Optional, Sequence, Set
+from typing import Hashable, Optional, Set
 
 import networkx as nx
 import numpy as np

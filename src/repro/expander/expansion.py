@@ -17,11 +17,10 @@ For a graph ``G``:
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
-import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 __all__ = [

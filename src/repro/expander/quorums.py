@@ -23,7 +23,7 @@ grid quorum load.
 from __future__ import annotations
 
 import math
-from typing import List, Literal, Sequence, Set, Tuple
+from typing import List, Literal, Set, Tuple
 
 import numpy as np
 

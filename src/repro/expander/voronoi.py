@@ -21,11 +21,10 @@ Supported queries (all the §5 protocols need):
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
-from scipy.spatial import ConvexHull, Delaunay, Voronoi, cKDTree
+from scipy.spatial import Delaunay, Voronoi, cKDTree
 
 __all__ = ["TorusVoronoi"]
 

@@ -180,7 +180,7 @@ def phase_ablation(seed: int = 204, quick: bool = False) -> ExperimentResult:
             f"two-phase load grows strictly slower (slope {slope_dh:.2f})": slope_dh
             <= slope_fast - 0.15,
             "two-phase max load ≤ 4·log n at every size": all(
-                l <= 4 * math.log2(n) for l, n in zip(dh_loads, sizes)
+                load <= 4 * math.log2(n) for load, n in zip(dh_loads, sizes)
             ),
         }
         if sizes[big] >= 4096:  # the absolute gap needs √n ≫ log n

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 __all__ = ["ExperimentResult", "register", "get_experiment", "all_experiments",
            "format_rows"]

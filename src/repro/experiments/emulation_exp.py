@@ -11,7 +11,6 @@ from __future__ import annotations
 import math
 from typing import Dict, List
 
-import numpy as np
 
 from ..balance import MultipleChoice
 from ..core.segments import SegmentMap

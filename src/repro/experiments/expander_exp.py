@@ -14,10 +14,8 @@ Three layers of verification:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List
 
-import numpy as np
 
 from ..balance import TwoDimMultipleChoice, coarse_grid_side, fine_grid_side
 from ..balance.two_dim import cell_of

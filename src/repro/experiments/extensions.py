@@ -12,7 +12,6 @@ protocol stack.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List
 
 import numpy as np

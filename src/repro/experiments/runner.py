@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import json
 import pathlib
 import zlib
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 # importing the modules populates the registry
 from . import (  # noqa: F401

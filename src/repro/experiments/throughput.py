@@ -19,7 +19,6 @@ import math
 import time
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from ..balance import MultipleChoice
 from ..core import DistanceHalvingNetwork, lookup_many

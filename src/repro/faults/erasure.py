@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 __all__ = ["GF256", "ReedSolomonCode", "ErasureStore"]
 

@@ -22,7 +22,7 @@ is a deterministic pure function of its coefficients).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Union
 
 import numpy as np
 

@@ -16,7 +16,7 @@ provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Literal, Optional, Sequence, Tuple
+from typing import Callable, List, Literal, Optional
 
 import numpy as np
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional
 
 __all__ = ["Event", "EventLoop", "Message", "SimNode", "SimNetwork"]
 

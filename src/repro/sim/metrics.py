@@ -8,7 +8,7 @@ the paper's asymptotic claims (e.g. path length ~ log n, CAN ~ n^{1/d}).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ results are bit-for-bit reproducible and repetitions are independent.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import List
 
 import numpy as np
 

@@ -19,8 +19,7 @@ replacement for the per-lookup scalar loops E4/E5 used to run.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -1,11 +1,10 @@
 """Unit tests for the Kenthapadi–Manku hybrid probe strategy (§4.2)."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.balance import HybridChoice, ImprovedSingleChoice, MultipleChoice, SingleChoice
+from repro.balance import HybridChoice, ImprovedSingleChoice, SingleChoice
 from repro.core.segments import SegmentMap
 
 

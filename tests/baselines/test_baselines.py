@@ -187,7 +187,7 @@ class TestViceroy:
     def test_levels_within_range(self):
         build, _ = rngs(22)
         dht = ViceroyNetwork(256, build)
-        assert all(1 <= l <= dht.max_level for l in dht.level.values())
+        assert all(1 <= lv <= dht.max_level for lv in dht.level.values())
 
     def test_path_logarithmic(self):
         build, route = rngs(23)

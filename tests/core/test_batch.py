@@ -12,7 +12,6 @@ import pytest
 
 from repro.balance import MultipleChoice
 from repro.core import (
-    BatchRouter,
     DistanceHalvingNetwork,
     dh_lookup,
     equally_spaced_network,

@@ -1,6 +1,5 @@
 """Unit tests for the continuous Distance Halving graph (paper §2.1–2.3)."""
 
-import math
 from fractions import Fraction
 
 import numpy as np

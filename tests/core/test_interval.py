@@ -1,6 +1,5 @@
 """Unit tests for ring-interval arithmetic (paper §2.1 geometry)."""
 
-import math
 from fractions import Fraction
 
 import pytest

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.continuous import ContinuousGraph
-from repro.core.interval import linear_distance
 from repro.core.pathtree import PathTree
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the Gabber–Galil expander construction (paper §5.2)."""
 
-import math
 
 import networkx as nx
 import numpy as np

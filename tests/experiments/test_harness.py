@@ -67,6 +67,20 @@ class TestQuickRuns:
         res = get_experiment("E2")(quick=True)
         assert res.passed, res.render()
 
+    def test_table1_shootout_passes(self):
+        res = get_experiment("E1")(quick=True)
+        assert res.passed, res.render()
+        # every scheme contributes a row with the three Table 1 columns
+        schemes = {row["scheme"] for row in res.rows}
+        assert len(schemes) == 8
+
+    def test_tradeoff_passes(self):
+        res = get_experiment("E6")(quick=True)
+        assert res.passed, res.render()
+        # the Δ sweep plus the chord / small-world / viceroy frontier rows
+        schemes = [row["scheme"] for row in res.rows]
+        assert "chord" in schemes and "small-world" in schemes
+
     def test_pathlen_passes(self):
         res = get_experiment("E3")(quick=True)
         assert res.passed, res.render()
@@ -119,3 +133,73 @@ class TestCli:
 
         assert main(["run", "F2", "--quick"]) == 0
         assert "PASS" in capsys.readouterr().out
+
+    def test_bench_baselines_writes_artifact(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_baselines.json"
+        rc = main(["bench-baselines", "--n", "64", "--lookups", "400",
+                   "--scalar-sample", "60", "--schemes", "chord,koorde",
+                   "--min-speedup", "0.01", "--json-out", str(out)])
+        assert rc == 0
+        assert "parity: PASS" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert set(payload["result"]["schemes"]) == {"chord", "koorde"}
+        assert payload["result"]["all_parity_ok"] is True
+
+    def test_bench_baselines_rejects_unknown_scheme(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench-baselines", "--schemes", "nope"]) == 2
+
+    def test_bench_compare_gate(self, capsys, tmp_path):
+        from repro.cli import main
+
+        ref = tmp_path / "refs"
+        run = tmp_path / "run"
+        ref.mkdir(), run.mkdir()
+        payload = {"command": "bench-baselines", "ok": True,
+                   "result": {"speedup": 10.0, "batch_rate": 1000.0,
+                              "parity_ok": True}}
+        (ref / "BENCH_x.json").write_text(json.dumps(payload))
+        good = dict(payload, result=dict(payload["result"], speedup=8.0))
+        (run / "BENCH_x.json").write_text(json.dumps(good))
+        assert main(["bench-compare", "--run-dir", str(run),
+                     "--ref-dir", str(ref)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+        # >30% throughput regression fails the gate
+        bad = dict(payload, result=dict(payload["result"], speedup=6.0))
+        (run / "BENCH_x.json").write_text(json.dumps(bad))
+        assert main(["bench-compare", "--run-dir", str(run),
+                     "--ref-dir", str(ref)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+        # a parity flag flipping off fails even with throughput intact
+        flip = dict(payload, result=dict(payload["result"], parity_ok=False))
+        (run / "BENCH_x.json").write_text(json.dumps(flip))
+        assert main(["bench-compare", "--run-dir", str(run),
+                     "--ref-dir", str(ref)]) == 1
+        assert "flag flipped" in capsys.readouterr().out
+
+    def test_bench_compare_update_refs(self, capsys, tmp_path):
+        from repro.cli import main
+
+        ref = tmp_path / "refs"
+        run = tmp_path / "run"
+        run.mkdir()
+        (run / "BENCH_x.json").write_text(json.dumps({"ok": True}))
+        assert main(["bench-compare", "--run-dir", str(run),
+                     "--ref-dir", str(ref), "--update-refs"]) == 0
+        assert json.loads((ref / "BENCH_x.json").read_text()) == {"ok": True}
+
+    def test_bench_compare_missing_run_artifact(self, capsys, tmp_path):
+        from repro.cli import main
+
+        ref = tmp_path / "refs"
+        ref.mkdir()
+        (ref / "BENCH_x.json").write_text(json.dumps({"ok": True}))
+        assert main(["bench-compare", "--run-dir", str(tmp_path / "none"),
+                     "--ref-dir", str(ref)]) == 1
+        assert "MISSING" in capsys.readouterr().out

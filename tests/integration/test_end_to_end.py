@@ -13,7 +13,6 @@ modules, matching the example applications:
 import math
 
 import numpy as np
-import pytest
 
 from repro.balance import BucketBalancer, MultipleChoice
 from repro.core import (

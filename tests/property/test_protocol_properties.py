@@ -5,11 +5,9 @@ hold on *every* instance, not just the seeds unit tests chose.
 """
 
 import math
-from fractions import Fraction
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import CacheSystem, DistanceHalvingNetwork, dh_lookup, fast_lookup

@@ -3,8 +3,7 @@
 import math
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import ChordNetwork, KoordeNetwork, TapestryNetwork

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import EventLoop, Message, SimNetwork, SimNode
+from repro.sim.engine import EventLoop, SimNetwork, SimNode
 
 
 class Echo(SimNode):

@@ -4,7 +4,6 @@ import math
 from fractions import Fraction
 
 import numpy as np
-import pytest
 
 from repro.core import CongestionCounter, DistanceHalvingNetwork, fast_lookup
 from repro.sim.workload import funnel_workload
