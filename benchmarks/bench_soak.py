@@ -1,0 +1,65 @@
+"""Benchmarks for the day-in-the-life soak scenario engine (X5).
+
+Kernels: one chunk-sized routed batch booked into a `SoakStats`
+accumulator, the accumulator merge itself, and the between-phase
+invariant audit.  The headline test runs the full 8-phase default
+scenario at n=4096 and asserts every cross-subsystem invariant holds —
+the roadmap's "million-user day-in-the-life soak" milestone at bench
+scale.
+"""
+
+import pytest
+
+from repro.sim.scenario import DEFAULT_PHASES, ScenarioEngine, SoakStats
+
+
+@pytest.fixture(scope="module")
+def soak_engine_1024():
+    return ScenarioEngine(n=1024, lookups=100_000, chunk=1 << 14, seed=41,
+                          items=12)
+
+
+def test_chunk_route_and_record_kernel(benchmark, soak_engine_1024):
+    """One chunk of uniform lookups routed + booked into SoakStats."""
+    eng = soak_engine_1024
+    stats = SoakStats()
+    benchmark(eng._route_stream, stats, eng.chunk)
+    assert stats.route.lookups > 0
+
+
+def test_soak_stats_merge_kernel(benchmark, soak_engine_1024):
+    """Merging one populated phase snapshot into a running total."""
+    eng = soak_engine_1024
+    part = SoakStats()
+    eng._route_stream(part, eng.chunk)
+
+    def merge_once():
+        total = SoakStats()
+        total.merge(part)
+        return total
+
+    total = benchmark(merge_once)
+    assert total.equals(part) or total.chunks == part.chunks
+
+
+def test_invariant_audit_kernel(benchmark, soak_engine_1024):
+    """The full between-phase audit (fresh compile + all checks)."""
+    eng = soak_engine_1024
+    stats = SoakStats()
+    eng._route_stream(stats, eng.chunk)
+    eng.phase_snapshots.append(("bench", stats.snapshot()))
+    eng.total.merge(stats)
+    rows = benchmark(eng.check_invariants, "bench")
+    assert all(r["ok"] for r in rows)
+
+
+def test_soak_headline_4096():
+    """Acceptance: the 8-phase default scenario holds every invariant."""
+    eng = ScenarioEngine(n=4096, lookups=200_000, chunk=1 << 15, seed=29,
+                         items=16)
+    res = eng.run(DEFAULT_PHASES)
+    assert res["invariants_ok"], res["invariants"]
+    assert res["healing_ok"] and res["owners_ok"] and res["merge_ok"]
+    assert res["total_requests"] >= 200_000
+    assert len(res["phases"]) >= 6
+    assert res["stats"]["ft_success_rate"] >= 0.9

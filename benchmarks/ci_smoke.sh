@@ -47,5 +47,13 @@ run python -m repro.cli bench-baselines \
   --n 1024 --lookups 20000 --scalar-sample 200 --min-speedup 3 \
   --json-out "$OUT_DIR/BENCH_baselines.json"
 
+# Day-in-the-life soak smoke: every subsystem composed on one live
+# network with all between-phase invariants on.  The artifact is
+# seed-deterministic (no wall-clock keys), so bench-compare gates its
+# booleans machine-independently.
+run python -m repro.cli soak \
+  --n 1024 --lookups 10000 --chunk 4096 --seed 0 \
+  --json-out "$OUT_DIR/BENCH_soak.json"
+
 echo
 echo "all bench smokes passed; artifacts in $OUT_DIR/"

@@ -47,6 +47,13 @@ subcommands:
                     against its scalar lookup_path loop; every scheme
                     must hold the --min-speedup floor and replay its
                     scalar subsample bit-for-bit
+  soak              day-in-the-life streaming soak: a phase-scripted
+                    scenario (lookups, churn, flash crowd, fail-stop +
+                    Byzantine waves with Reed-Solomon read-repair
+                    healing, rebalancing, mass departure) on one live
+                    network, with cross-subsystem invariant checks
+                    between phases; --json-out artifacts are
+                    byte-reproducible per --seed
   bench-compare     regression gate: diff this run's bench-artifacts/
                     BENCH_*.json against the committed references in
                     benchmarks/baselines/; any throughput ("speedup" /
@@ -391,6 +398,45 @@ def _bench_compare(args) -> int:
     return 0 if ok else 1
 
 
+def _soak(args) -> int:
+    from .experiments.soak import (
+        deterministic_payload,
+        format_soak_report,
+        measure_soak,
+    )
+    from .sim.scenario import parse_phases
+
+    if args.n < 16 or args.lookups < 1 or args.chunk < 1 or args.items < 1:
+        print("soak: --n must be >= 16 and --lookups/--chunk/--items >= 1",
+              file=sys.stderr)
+        return 2
+    try:
+        parse_phases(args.phases)
+    except ValueError as exc:
+        print(f"soak: {exc}", file=sys.stderr)
+        return 2
+
+    result = measure_soak(
+        n=args.n,
+        lookups=args.lookups,
+        phases=args.phases,
+        chunk=args.chunk,
+        seed=args.seed,
+        items=args.items,
+        invariants=not args.no_invariants,
+        strict=False,
+    )
+    print(format_soak_report(result))
+    ok = (result["invariants_ok"] and result["healing_ok"]
+          and result["stats"]["ft_success_rate"] >= args.min_ft_success)
+    verdict = "PASS" if ok else "FAIL"
+    print(f"[{verdict}] invariants + healing + ft success "
+          f"≥ {args.min_ft_success:g}")
+    # wall-clock keys are stripped so same-seed runs write identical bytes
+    _write_json_out(args.json_out, "soak", deterministic_payload(result), ok)
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -657,6 +703,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the measurement dict + verdict as JSON",
     )
 
+    soakp = sub.add_parser(
+        "soak",
+        help="phase-scripted streaming soak with self-healing storage and "
+        "between-phase invariant checks",
+    )
+    soakp.add_argument(
+        "--n", type=int, default=16384, help="initial network size"
+    )
+    soakp.add_argument(
+        "--lookups", type=int, default=1_000_000,
+        help="total routed lookups shared by the lookup phases"
+    )
+    soakp.add_argument(
+        "--phases", default=None,
+        help="comma-separated scenario script, e.g. "
+        "'lookups,churn:192,flash,failstop:0.08,byzantine:0.05,"
+        "rebalance,mass:0.3' (default: the 8-phase day-in-the-life script)"
+    )
+    soakp.add_argument(
+        "--chunk", type=int, default=None,
+        help="streaming batch size (peak in-flight requests; default 2^16)"
+    )
+    soakp.add_argument("--seed", type=int, default=0)
+    soakp.add_argument(
+        "--items", type=int, default=24,
+        help="erasure-coded blobs stored on the fault substrate"
+    )
+    soakp.add_argument(
+        "--no-invariants", action="store_true",
+        help="skip the between-phase invariant checker (timing runs only)"
+    )
+    soakp.add_argument(
+        "--min-ft-success", type=float, default=0.9,
+        help="exit non-zero when the fault-tolerant lookup success rate "
+        "drops below this"
+    )
+    soakp.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write the deterministic result dict + verdict as JSON "
+        "(byte-identical across runs with the same seed)",
+    )
+
     cmpp = sub.add_parser(
         "bench-compare",
         help="regression gate: diff run bench artifacts against committed "
@@ -708,6 +798,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench_caching(args)
     if args.command == "bench-baselines":
         return _bench_baselines(args)
+    if args.command == "soak":
+        from .sim.scenario import DEFAULT_CHUNK, DEFAULT_PHASES
+
+        if args.phases is None:
+            args.phases = DEFAULT_PHASES
+        if args.chunk is None:
+            args.chunk = DEFAULT_CHUNK
+        return _soak(args)
     if args.command == "bench-compare":
         return _bench_compare(args)
 

@@ -123,19 +123,31 @@ def levels_to_csr(size: int, level_mats) -> tuple:
 class RouterRefreshStats:
     """Cumulative accounting of a router's re-sync work.
 
-    ``seconds`` covers the patching itself (both modes); the churn-soak
-    experiment divides it by ``ops_replayed`` to report refresh cost per
-    membership op.
+    Every pending membership op a refresh consumed is counted in exactly
+    one bucket: ``ops_replayed`` when an incremental patch replayed it,
+    ``ops_absorbed`` when a fallback full rebuild absorbed it (budget or
+    journal window exceeded, tiny network, ``force_full``).  Keeping the
+    buckets separate is what makes the incremental-refresh speedup claim
+    honest — a single rebuild that swallows a 10⁴-op churn wave must not
+    masquerade as 10⁴ cheap incremental replays.  ``seconds`` covers the
+    patching itself (both modes); the churn-soak experiment divides it
+    by :meth:`ops_synced` to report refresh cost per membership op.
     """
 
     refreshes: int = 0
     incremental: int = 0
     full_rebuilds: int = 0
     ops_replayed: int = 0
+    ops_absorbed: int = 0
     seconds: float = 0.0
 
+    def ops_synced(self) -> int:
+        """Membership ops consumed by refreshes, over both buckets."""
+        return self.ops_replayed + self.ops_absorbed
+
     def seconds_per_op(self) -> float:
-        return self.seconds / self.ops_replayed if self.ops_replayed else 0.0
+        total = self.ops_synced()
+        return self.seconds / total if total else 0.0
 
 
 def _normalize_array(values, size: Optional[int] = None) -> np.ndarray:
@@ -383,6 +395,7 @@ class BatchRouter:
         if (pending is not None and len(pending) <= budget
                 and self._apply_incremental(pending)):
             self.refresh_stats.incremental += 1
+            self.refresh_stats.ops_replayed += ops
         else:
             self._snapshot()
             if had_adjacency:
@@ -390,8 +403,8 @@ class BatchRouter:
                 # cost lands in refresh_stats, not in the next dh batch
                 self._build_adjacency()
             self.refresh_stats.full_rebuilds += 1
+            self.refresh_stats.ops_absorbed += ops
         self.refresh_stats.refreshes += 1
-        self.refresh_stats.ops_replayed += ops
         self.refresh_stats.seconds += time.perf_counter() - t0
         return self
 

@@ -584,6 +584,54 @@ class BatchCacheEngine:
         """Total active nodes beyond the roots."""
         return int(self._keys.size - self.n_trees)
 
+    def check_well_formed(self) -> int:
+        """Audit the active-tree state; returns the node count.
+
+        The structural invariants every §3 protocol step preserves —
+        checked wholesale (one vectorized pass) so a soak can assert
+        them between phases:
+
+        * the composite key array is strictly increasing (sorted,
+          duplicate-free) and all parallel arrays agree in length;
+        * every tree's root (``key = tree·K``) is active;
+        * prefix-closure: every non-root node's parent is active;
+        * depth bookkeeping: roots at 0, children one deeper than their
+          parent, nothing past the engine's depth cap;
+        * epoch counters are non-negative.
+
+        Raises ``ValueError`` naming the first violated invariant.
+        """
+        keys = self._keys
+        m = keys.size
+        for name, arr in (("counts", self._counts), ("pos", self._pos),
+                          ("depths", self._depths)):
+            if arr.size != m:
+                raise ValueError(
+                    f"cache state skew: {name} has {arr.size} entries "
+                    f"for {m} keys")
+        if m and (np.diff(keys) <= 0).any():
+            raise ValueError("cache keys are not strictly increasing")
+        roots = np.arange(self.n_trees, dtype=np.int64) * self._K
+        if not _isin_sorted(roots, keys).all():
+            raise ValueError("a tree lost its root node")
+        local = keys % self._K
+        nz = local > 0
+        parent = keys[nz] - local[nz] + (local[nz] - 1) // self.delta
+        p_idx = np.searchsorted(keys, parent)
+        if (p_idx >= m).any() or (keys[np.minimum(p_idx, m - 1)]
+                                  != parent).any():
+            raise ValueError("prefix-closure violated: a node's parent "
+                             "is not active")
+        if (self._depths[~nz] != 0).any():
+            raise ValueError("a root node has non-zero depth")
+        if (self._depths[nz] != self._depths[p_idx] + 1).any():
+            raise ValueError("a child's depth is not its parent's + 1")
+        if m and int(self._depths.max()) > self._depth_cap:
+            raise ValueError("an active node exceeds the depth cap")
+        if (self._counts < 0).any():
+            raise ValueError("negative epoch counter")
+        return m
+
     def summary(self) -> Dict[str, float]:
         """Same digest schema (and, for the same stream, the same bits)
         as :meth:`repro.core.caching.CacheSystem.summary`.

@@ -113,11 +113,11 @@ def measure_churn_soak(
     for phase in range(phases):
         trace = ChurnTrace.generate(churn_rng, steps=churn_ops,
                                     leave_prob=leave_prob, warmup=0)
-        stats0 = (router.refresh_stats.ops_replayed,
+        stats0 = (router.refresh_stats.ops_synced(),
                   router.refresh_stats.seconds)
         report = run_churn(net, trace, churn_rng, selector=selector,
                            sample_every=sample_every, on_op=on_op)
-        ops = router.refresh_stats.ops_replayed - stats0[0]
+        ops = router.refresh_stats.ops_synced() - stats0[0]
         secs = router.refresh_stats.seconds - stats0[1]
         batch = _route_batch(router, net, route_rng, lookups)
         owners_ok &= batch["owners_ok"]
@@ -134,10 +134,10 @@ def measure_churn_soak(
     # §4.1 stress: a cohort joins, then mass_fraction of the network leaves
     m = mass_n if mass_n is not None else min(net.n, 16384)
     trace = ChurnTrace.mass_departure(churn_rng, n=m, fraction=mass_fraction)
-    stats0 = (router.refresh_stats.ops_replayed, router.refresh_stats.seconds)
+    stats0 = (router.refresh_stats.ops_synced(), router.refresh_stats.seconds)
     report = run_churn(net, trace, churn_rng, selector=selector,
                        sample_every=sample_every, on_op=on_op)
-    ops = router.refresh_stats.ops_replayed - stats0[0]
+    ops = router.refresh_stats.ops_synced() - stats0[0]
     secs = router.refresh_stats.seconds - stats0[1]
     final = _route_batch(router, net, route_rng, lookups)
     owners_ok &= final["owners_ok"]
@@ -170,6 +170,7 @@ def measure_churn_soak(
         "incremental_refreshes": stats.incremental,
         "full_rebuilds": stats.full_rebuilds,
         "ops_replayed": stats.ops_replayed,
+        "ops_absorbed": stats.ops_absorbed,
         "mean_touched": report.mean_touched(),
     }
 
@@ -182,7 +183,8 @@ def format_churn_report(result: Dict) -> str:
         f"churn soak: start n={result['n']}  final n={result['final_n']}  "
         f"{result['lookups']} lookups per batch",
         format_rows(result["rows"]),
-        f"refresh: {result['ops_replayed']} membership ops re-synced "
+        f"refresh: {result['ops_replayed']} membership ops replayed "
+        f"incrementally + {result['ops_absorbed']} absorbed by rebuilds "
         f"({result['incremental_refreshes']} incremental refreshes, "
         f"{result['full_rebuilds']} full rebuilds)  "
         f"{1e6 * result['refresh_secs_per_op']:.1f}us/op",

@@ -22,6 +22,7 @@ from . import (  # noqa: F401
     figures,
     pathlen,
     permutation,
+    soak,
     structure,
     table1,
     throughput,

@@ -1,7 +1,7 @@
 """Fault-tolerant overlapping DHT and fault models (paper §6)."""
 
 from .batch_ft import FTBatchEngine, FTBatchResult
-from .erasure import ErasureStore, GF256, ReedSolomonCode
+from .erasure import ErasureStore, GF256, ReedSolomonCode, RepairReport
 from .lookup_ft import FTLookupResult, canonical_path, resistant_lookup, simple_lookup
 from .models import FaultPlan, random_byzantine, random_failstop
 from .overlap import OverlappingDHNetwork
@@ -15,6 +15,7 @@ __all__ = [
     "ReedSolomonCode",
     "FaultPlan",
     "OverlappingDHNetwork",
+    "RepairReport",
     "canonical_path",
     "random_byzantine",
     "random_failstop",

@@ -11,6 +11,11 @@ storage win.  This module supplies that substrate:
 * :class:`ErasureStore` — integration with
   :class:`~repro.faults.overlap.OverlappingDHNetwork`: shares are spread
   over the replica group, retrieval gathers any ``k`` alive shares;
+* **self-healing** (read-repair): when share holders fail-stop,
+  :meth:`ErasureStore.read_repair` reconstructs the item from any ``k``
+  surviving shares and re-encodes it to full redundancy over the *alive*
+  replica group — the repair loop long-running deployments run when
+  servers die mid-soak; :meth:`ErasureStore.heal` sweeps every item;
 * the storage-overhead comparison of the paper's remark: replication
   stores ``m·|item|`` bytes for ``m``-fault tolerance, the code stores
   ``(k + m)/k·|item|``.
@@ -21,11 +26,12 @@ dependency carries GF(256) arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 
-__all__ = ["GF256", "ReedSolomonCode", "ErasureStore"]
+__all__ = ["GF256", "ReedSolomonCode", "ErasureStore", "RepairReport"]
 
 
 class GF256:
@@ -216,6 +222,28 @@ class ReedSolomonCode:
 class _StoredItem:
     code: ReedSolomonCode
     share_at: Dict[float, Tuple[int, bytes]]
+    pos: float = 0.0            # the item's hash point (replica-group anchor)
+    digest: str = ""            # sha256 of the plaintext, for repair audits
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one :meth:`ErasureStore.heal` sweep."""
+
+    items: int = 0              # items examined
+    healthy: int = 0            # already at full redundancy on alive holders
+    repaired: int = 0           # reconstructed and re-encoded
+    shares_rebuilt: int = 0     # share payloads (re)written during repairs
+    lost: int = 0               # unrecoverable (fewer than k alive shares)
+
+    def merge(self, other: "RepairReport") -> "RepairReport":
+        """Fold another sweep's counters into this one (all plain sums)."""
+        self.items += other.items
+        self.healthy += other.healthy
+        self.repaired += other.repaired
+        self.shares_rebuilt += other.shares_rebuilt
+        self.lost += other.lost
+        return self
 
 
 class ErasureStore:
@@ -228,17 +256,27 @@ class ErasureStore:
         self.data_fraction = data_fraction
         self._items: Dict[object, _StoredItem] = {}
 
+    def keys(self) -> List:
+        """The stored item keys (insertion order)."""
+        return list(self._items)
+
+    def _code_for(self, group_size: int) -> ReedSolomonCode:
+        k = max(1, int(round(group_size * self.data_fraction)))
+        return ReedSolomonCode(k, group_size)
+
     def put(self, key, data: bytes) -> int:
         """Encode and spread shares over the replica group; returns n shares."""
-        group = self.net.covers(self.net.item_hash(key))
-        n = len(group)
-        k = max(1, int(round(n * self.data_fraction)))
-        code = ReedSolomonCode(k, n)
+        pos = float(self.net.item_hash(key))
+        group = self.net.covers(pos)
+        code = self._code_for(len(group))
         shares = code.encode(data)
         self._items[key] = _StoredItem(
-            code=code, share_at={srv: sh for srv, sh in zip(group, shares)}
+            code=code,
+            share_at={srv: sh for srv, sh in zip(group, shares)},
+            pos=pos,
+            digest=hashlib.sha256(data).hexdigest(),
         )
-        return n
+        return len(group)
 
     def get(self, key, alive: Optional[Set[float]] = None) -> bytes:
         """Gather any ``k`` alive shares and reconstruct (Thm 6.4 regime)."""
@@ -257,3 +295,102 @@ class ErasureStore:
     def storage_bytes(self, key) -> int:
         item = self._items[key]
         return sum(len(p) for _, p in item.share_at.values())
+
+    # ------------------------------------------------------------ self-healing
+    def shares_alive(self, key, alive: Optional[Set[float]] = None) -> int:
+        """Shares still held by alive servers (``k`` of them reconstruct)."""
+        item = self._items[key]
+        if alive is None:
+            return len(item.share_at)
+        return sum(1 for srv in item.share_at if srv in alive)
+
+    def is_recoverable(self, key, alive: Optional[Set[float]] = None) -> bool:
+        """Can the item still be reconstructed under this fault set?"""
+        return self.shares_alive(key, alive) >= self._items[key].code.k
+
+    def verify(self, key, alive: Optional[Set[float]] = None) -> bool:
+        """Byte-level audit of the item under the current fault set.
+
+        Decodes from the alive shares, checks the plaintext against the
+        put-time sha256, then re-encodes and compares **every** alive
+        share payload to its expected value — so a single corrupted
+        share fails the audit even when the decode happened to pick an
+        honest ``k``-subset.
+        """
+        item = self._items[key]
+        if not self.is_recoverable(key, alive):
+            return False
+        available = [
+            sh for srv, sh in item.share_at.items()
+            if alive is None or srv in alive
+        ]
+        data = item.code.decode(available)
+        if hashlib.sha256(data).hexdigest() != item.digest:
+            return False
+        expected = item.code.encode(data)
+        return all(sh == expected[sh[0]] for sh in available)
+
+    def read_repair(self, key, alive: Set[float]) -> int:
+        """Restore full redundancy over the alive replica group.
+
+        Decodes the item from any ``k`` surviving shares, re-encodes it
+        with a code sized to the *alive* members of its replica group,
+        and redistributes the shares — exactly the read-repair a lookup
+        that notices missing shares would trigger.  Returns the number
+        of share payloads written (0 when every holder is still alive
+        and the item needs no repair).  Raises ``ValueError`` when fewer
+        than ``k`` shares survive (the item is genuinely lost) or when
+        the whole replica group is dead.
+        """
+        item = self._items[key]
+        holders_alive = all(srv in alive for srv in item.share_at)
+        if holders_alive:
+            return 0
+        if not self.is_recoverable(key, alive):
+            raise ValueError(
+                f"item {key!r} is unrecoverable: "
+                f"{self.shares_alive(key, alive)} alive shares < "
+                f"k={item.code.k}"
+            )
+        data = item.code.decode([
+            sh for srv, sh in item.share_at.items() if srv in alive
+        ])
+        if hashlib.sha256(data).hexdigest() != item.digest:
+            raise ValueError(  # pragma: no cover - decode is exact
+                f"item {key!r} failed its integrity audit during repair")
+        group = self.net.covers(item.pos, alive=alive)
+        if not group:
+            raise ValueError(
+                f"item {key!r} cannot be re-homed: its whole replica "
+                "group is dead"
+            )
+        code = self._code_for(len(group))
+        placed = dict(zip(group, code.encode(data)))
+        old = item.share_at
+        rebuilt = sum(1 for srv, sh in placed.items() if old.get(srv) != sh)
+        item.code = code
+        item.share_at = placed
+        return rebuilt
+
+    def heal(self, alive: Set[float],
+             keys: Optional[Iterable] = None) -> RepairReport:
+        """Read-repair sweep over ``keys`` (default: every stored item).
+
+        Items with at least ``k`` surviving shares are reconstructed and
+        re-encoded to full redundancy; items below the threshold are
+        counted as ``lost`` and left untouched (their surviving shares
+        may still matter to a later, larger repair).
+        """
+        report = RepairReport()
+        for key in (self.keys() if keys is None else keys):
+            report.items += 1
+            item = self._items[key]
+            if all(srv in alive for srv in item.share_at):
+                report.healthy += 1
+                continue
+            if not self.is_recoverable(key, alive):
+                report.lost += 1
+                continue
+            report.shares_rebuilt += self.read_repair(key, alive)
+            report.repaired += 1
+        return report

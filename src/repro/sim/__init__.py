@@ -11,6 +11,13 @@ from .protocol import (
 )
 from .metrics import Summary, log_slope, loglog_slope, summarize
 from .rng import root_rng, spawn, spawn_many
+from .scenario import (
+    DEFAULT_PHASES,
+    Phase,
+    ScenarioEngine,
+    SoakStats,
+    parse_phases,
+)
 from .workload import (
     adversarial_point_demands,
     funnel_workload,
@@ -26,6 +33,11 @@ from .workload import (
 __all__ = [
     "AsyncDHNetwork",
     "ChurnOp",
+    "DEFAULT_PHASES",
+    "Phase",
+    "ScenarioEngine",
+    "SoakStats",
+    "parse_phases",
     "ChurnReport",
     "ChurnTrace",
     "DHProtocolNode",

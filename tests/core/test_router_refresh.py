@@ -242,3 +242,63 @@ class TestRefreshModes:
         assert stats.ops_replayed == 4
         assert stats.seconds > 0
         assert stats.seconds_per_op() == pytest.approx(stats.seconds / 4)
+
+
+class TestRefreshOpAccounting:
+    """Regression (ISSUE 8): a fallback full rebuild must not book the
+    ops it absorbed as incrementally *replayed* — that inflated the
+    per-op refresh cost denominator, making one rebuild that swallowed a
+    whole churn wave look like thousands of cheap incremental patches."""
+
+    def test_window_overflow_mid_chunk_books_ops_exactly_once(self):
+        net = make_net(256, seed=30)
+        net.membership_log.cap = 64
+        router = net.router(auto_refresh=True)
+        rng = np.random.default_rng(31)
+
+        # a few incremental singles (the steady-state soak pattern) ...
+        for _ in range(3):
+            net.join(float(rng.random()))
+            router.refresh()
+        # ... then a churn wave that exceeds the journal window mid-chunk
+        wave = 200
+        for _ in range(wave):
+            net.join(float(rng.random()))
+        router.refresh()
+
+        stats = router.refresh_stats
+        assert stats.incremental == 3
+        assert stats.full_rebuilds == 1
+        assert stats.ops_replayed == 3          # only the true replays
+        assert stats.ops_absorbed == wave       # the rebuild's wave
+        # every membership op since compile counted in exactly one bucket
+        assert stats.ops_synced() == 3 + wave
+        assert router.version == net.membership_version
+        # a second refresh is a no-op and must not re-count anything
+        router.refresh()
+        assert stats.ops_synced() == 3 + wave
+
+    def test_budget_fallback_books_ops_as_absorbed(self):
+        net = make_net(128, seed=32)
+        router = net.router(auto_refresh=True, churn_budget=4)
+        rng = np.random.default_rng(33)
+        for _ in range(9):
+            net.join(float(rng.random()))
+        router.refresh()
+        stats = router.refresh_stats
+        assert stats.ops_replayed == 0
+        assert stats.ops_absorbed == 9
+        assert stats.seconds_per_op() == pytest.approx(stats.seconds / 9)
+
+    def test_mixed_run_per_op_cost_uses_both_buckets(self):
+        net = make_net(128, seed=34)
+        router = net.router(auto_refresh=True, churn_budget=4)
+        rng = np.random.default_rng(35)
+        net.join(float(rng.random()))
+        router.refresh()                        # 1 replayed
+        for _ in range(7):
+            net.join(float(rng.random()))
+        router.refresh()                        # 7 absorbed
+        stats = router.refresh_stats
+        assert (stats.ops_replayed, stats.ops_absorbed) == (1, 7)
+        assert stats.seconds_per_op() == pytest.approx(stats.seconds / 8)

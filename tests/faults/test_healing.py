@@ -1,0 +1,169 @@
+"""Self-healing storage: read-repair + re-encode of Reed-Solomon shares.
+
+The §6.2 erasure remark makes items survive up to n−k share losses; this
+suite exercises the *repair* loop a long-running soak needs on top: when
+share holders fail-stop, `ErasureStore.read_repair` must reconstruct the
+item from any k surviving shares, re-encode it over the alive replica
+group, and restore full redundancy — byte-identically.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.faults import ErasureStore, OverlappingDHNetwork, RepairReport
+from repro.faults.models import random_failstop
+
+
+def make_store(n=64, seed=7, data_fraction=0.5, items=6, payload=300):
+    rng = np.random.default_rng(seed)
+    net = OverlappingDHNetwork(n, rng=rng)
+    store = ErasureStore(net, data_fraction=data_fraction)
+    blobs = {}
+    for i in range(items):
+        key = f"item-{i}"
+        data = bytes(rng.integers(0, 256, size=payload, dtype=np.uint8))
+        store.put(key, data)
+        blobs[key] = data
+    return net, store, blobs
+
+
+def kill_holders(net, store, key, kill):
+    """Alive set with exactly ``kill`` of the key's share holders dead."""
+    holders = list(store._items[key].share_at)
+    return set(net.points_array.tolist()) - set(holders[:kill])
+
+
+class TestReadRepair:
+    def test_no_faults_is_a_no_op(self):
+        net, store, blobs = make_store()
+        alive = set(net.points_array.tolist())
+        for key in store.keys():
+            assert store.read_repair(key, alive) == 0
+            assert store.get(key, alive) == blobs[key]
+
+    def test_repair_after_max_tolerable_losses(self):
+        """Kill exactly n−k holders: the worst survivable fault."""
+        net, store, blobs = make_store()
+        for key in store.keys():
+            item = store._items[key]
+            n_shares, k = len(item.share_at), item.code.k
+            alive = kill_holders(net, store, key, n_shares - k)
+            assert store.shares_alive(key, alive) == k
+            assert store.is_recoverable(key, alive)
+            rebuilt = store.read_repair(key, alive)
+            assert rebuilt > 0
+            # Full redundancy restored: every alive group member holds a
+            # share and the decoded payload is byte-identical.
+            group = net.covers(store._items[key].pos, alive=alive)
+            assert set(store._items[key].share_at) == set(group)
+            assert store.get(key, alive) == blobs[key]
+            assert store.verify(key, alive)
+
+    def test_repaired_tolerance_matches_alive_group(self):
+        net, store, blobs = make_store()
+        key = store.keys()[0]
+        item = store._items[key]
+        alive = kill_holders(net, store, key, len(item.share_at) - item.code.k)
+        store.read_repair(key, alive)
+        item = store._items[key]
+        n_new = len(item.share_at)
+        k_new = item.code.k
+        assert k_new == max(1, round(n_new * store.data_fraction))
+        assert store.tolerance(key) == n_new - k_new
+
+    def test_repaired_shares_roundtrip_from_every_k_subset(self):
+        """Any k of the re-encoded shares must decode byte-identically."""
+        net, store, blobs = make_store(items=2)
+        key = store.keys()[0]
+        item = store._items[key]
+        alive = kill_holders(net, store, key, len(item.share_at) - item.code.k)
+        store.read_repair(key, alive)
+        item = store._items[key]
+        shares = list(item.share_at.values())
+        for subset in itertools.combinations(shares, item.code.k):
+            assert item.code.decode(list(subset)) == blobs[key]
+
+    def test_repair_survives_a_second_fault_wave(self):
+        """Heal, kill more holders, heal again — data still intact."""
+        net, store, blobs = make_store()
+        key = store.keys()[1]
+        item = store._items[key]
+        alive = kill_holders(net, store, key, len(item.share_at) - item.code.k)
+        store.read_repair(key, alive)
+        item = store._items[key]
+        survivors = [s for s in item.share_at if s in alive]
+        alive2 = alive - set(survivors[: len(item.share_at) - item.code.k])
+        assert store.read_repair(key, alive2) > 0
+        assert store.get(key, alive2) == blobs[key]
+
+    def test_unrecoverable_raises(self):
+        net, store, _ = make_store()
+        key = store.keys()[0]
+        item = store._items[key]
+        alive = kill_holders(net, store, key,
+                             len(item.share_at) - item.code.k + 1)
+        assert not store.is_recoverable(key, alive)
+        assert not store.verify(key, alive)
+        with pytest.raises(ValueError, match="unrecoverable"):
+            store.read_repair(key, alive)
+
+
+class TestHealSweep:
+    def test_heal_classifies_items(self):
+        net, store, blobs = make_store(items=8, seed=11)
+        rng = np.random.default_rng(3)
+        plan = random_failstop(net.points_array.tolist(), 0.25, rng)
+        alive = set(net.points_array.tolist()) - plan.failed
+        expect_healthy = sum(
+            all(s in alive for s in store._items[k].share_at)
+            for k in store.keys()
+        )
+        report = store.heal(alive)
+        assert report.items == len(store.keys())
+        assert report.healthy == expect_healthy
+        assert report.healthy + report.repaired + report.lost == report.items
+        if report.repaired:
+            assert report.shares_rebuilt > 0
+        # Every surviving item now decodes byte-identically.
+        for key in store.keys():
+            if store.is_recoverable(key, alive):
+                assert store.get(key, alive) == blobs[key]
+
+    def test_heal_is_idempotent(self):
+        net, store, _ = make_store(items=8, seed=11)
+        rng = np.random.default_rng(3)
+        plan = random_failstop(net.points_array.tolist(), 0.25, rng)
+        alive = set(net.points_array.tolist()) - plan.failed
+        first = store.heal(alive)
+        second = store.heal(alive)
+        assert second.repaired == 0
+        assert second.shares_rebuilt == 0
+        assert second.healthy == first.items - first.lost
+        assert second.lost == first.lost
+
+    def test_heal_leaves_lost_items_untouched(self):
+        net, store, _ = make_store(items=4)
+        key = store.keys()[0]
+        item = store._items[key]
+        before = dict(item.share_at)
+        alive = kill_holders(net, store, key,
+                             len(item.share_at) - item.code.k + 1)
+        report = store.heal(alive, keys=[key])
+        assert report.lost == 1 and report.repaired == 0
+        assert store._items[key].share_at == before
+
+    def test_heal_subset_of_keys(self):
+        net, store, _ = make_store(items=4)
+        alive = set(net.points_array.tolist())
+        report = store.heal(alive, keys=store.keys()[:2])
+        assert report.items == 2 and report.healthy == 2
+
+    def test_report_merge_sums_counters(self):
+        a = RepairReport(items=3, healthy=1, repaired=1,
+                         shares_rebuilt=5, lost=1)
+        b = RepairReport(items=2, healthy=2)
+        a.merge(b)
+        assert (a.items, a.healthy, a.repaired, a.shares_rebuilt, a.lost) \
+            == (5, 3, 1, 5, 1)

@@ -1,0 +1,151 @@
+"""Artifact reproducibility + one shared schema for every ``--json-out``.
+
+Two contracts every machine-readable artifact must honor:
+
+* **Reproducibility** — ``repro.cli soak --seed S --json-out`` writes
+  byte-identical files across runs (the scenario result is a pure
+  function of its arguments; wall-clock keys are stripped).
+* **Schema** — every ``bench-*``/``soak`` payload has the shared
+  ``{"command": str, "ok": bool, "result": {...}}`` shape with
+  JSON-native, NumPy-free, *finite* leaves (``NaN``/``Infinity`` are
+  not strict JSON and break downstream parsers), validated by a
+  hand-rolled checker (no external jsonschema dependency) over both the
+  committed references in ``benchmarks/baselines/`` and freshly
+  generated artifacts.
+"""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+BASELINES = sorted((REPO / "benchmarks" / "baselines").glob("BENCH_*.json"))
+
+SOAK_ARGS = ["soak", "--n", "128", "--lookups", "2000", "--chunk", "1024",
+             "--seed", "9", "--items", "6"]
+
+
+@pytest.fixture(scope="module")
+def soak_artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("soak") / "BENCH_soak.json"
+    assert main(SOAK_ARGS + ["--json-out", str(path)]) == 0
+    return path
+
+
+class TestSoakReproducibility:
+    def test_same_seed_writes_identical_bytes(self, soak_artifact, tmp_path):
+        again = tmp_path / "again.json"
+        assert main(SOAK_ARGS + ["--json-out", str(again)]) == 0
+        assert again.read_bytes() == soak_artifact.read_bytes()
+
+    def test_different_seed_differs(self, soak_artifact, tmp_path):
+        other = tmp_path / "other.json"
+        args = [a if a != "9" else "10" for a in SOAK_ARGS]
+        assert main(args + ["--json-out", str(other)]) == 0
+        assert other.read_bytes() != soak_artifact.read_bytes()
+
+    def test_no_wall_clock_keys_in_artifact(self, soak_artifact):
+        from repro.experiments.soak import NONDETERMINISTIC_KEYS
+
+        payload = json.loads(soak_artifact.read_text())
+        for key in NONDETERMINISTIC_KEYS:
+            assert key not in payload["result"]
+
+
+# --------------------------------------------------------------- the schema
+def _strict_parse(path: pathlib.Path) -> dict:
+    """Load rejecting the non-JSON constants Python's dumper tolerates."""
+    def reject(token):
+        raise AssertionError(
+            f"{path.name}: non-JSON constant {token!r} in artifact")
+    return json.loads(path.read_text(), parse_constant=reject)
+
+
+def _check_leaves(value, where: str, problems: list) -> None:
+    """Recursively require JSON-native containers and finite leaves."""
+    if isinstance(value, dict):
+        for k, v in value.items():
+            if not isinstance(k, str):
+                problems.append(f"{where}: non-string key {k!r}")
+            else:
+                _check_leaves(v, f"{where}.{k}", problems)
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            _check_leaves(v, f"{where}[{i}]", problems)
+    elif isinstance(value, float):
+        if not math.isfinite(value):
+            problems.append(f"{where}: non-finite number {value!r}")
+    elif value is not None and not isinstance(value, (str, bool, int)):
+        problems.append(
+            f"{where}: non-JSON-native leaf of type {type(value).__name__}")
+
+
+def validate_artifact(path: pathlib.Path) -> dict:
+    """The shared ``--json-out`` schema; returns the parsed payload."""
+    payload = _strict_parse(path)
+    problems: list = []
+    if not isinstance(payload, dict):
+        problems.append("top level is not an object")
+    else:
+        for key, typ in (("command", str), ("ok", bool), ("result", dict)):
+            if key not in payload:
+                problems.append(f"missing required key {key!r}")
+            elif not isinstance(payload[key], typ) or (
+                    typ is not bool and isinstance(payload[key], bool)):
+                problems.append(
+                    f"{key!r} is {type(payload[key]).__name__}, "
+                    f"expected {typ.__name__}")
+        if isinstance(payload.get("result"), dict):
+            if not payload["result"]:
+                problems.append("'result' is empty")
+            _check_leaves(payload["result"], "result", problems)
+    assert not problems, f"{path.name}: " + "; ".join(problems)
+    # NumPy-safety double-check: a strict re-dump must round-trip
+    assert json.loads(json.dumps(payload, allow_nan=False)) == payload
+    return payload
+
+
+class TestArtifactSchema:
+    def test_committed_references_exist(self):
+        assert len(BASELINES) >= 6
+
+    @pytest.mark.parametrize("path", BASELINES, ids=lambda p: p.stem)
+    def test_committed_reference_matches_schema(self, path):
+        payload = validate_artifact(path)
+        assert payload["ok"] is True  # references are committed green
+
+    def test_fresh_soak_artifact_matches_schema(self, soak_artifact):
+        payload = validate_artifact(soak_artifact)
+        assert payload["command"] == "soak"
+        assert payload["ok"] is True
+        result = payload["result"]
+        for key in ("invariants_ok", "healing_ok", "owners_ok", "merge_ok",
+                    "cache_ok", "stats", "rows", "phases"):
+            assert key in result
+
+    def test_fresh_throughput_artifact_matches_schema(self, tmp_path):
+        path = tmp_path / "BENCH_throughput.json"
+        code = main(["bench-throughput", "--n", "128", "--lookups", "2000",
+                     "--scalar-sample", "50", "--min-speedup", "0.1",
+                     "--json-out", str(path)])
+        assert code == 0
+        assert validate_artifact(path)["command"] == "bench-throughput"
+
+    def test_validator_rejects_malformed_payloads(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"command": "x", "ok": "yes",
+                                   "result": {"v": 1}}))
+        with pytest.raises(AssertionError, match="'ok' is str"):
+            validate_artifact(bad)
+        bad.write_text('{"command": "x", "ok": true, '
+                       '"result": {"rate": NaN}}')
+        with pytest.raises(AssertionError, match="non-JSON constant"):
+            validate_artifact(bad)
+        bad.write_text(json.dumps({"command": "x", "ok": True,
+                                   "result": {}}))
+        with pytest.raises(AssertionError, match="empty"):
+            validate_artifact(bad)
