@@ -47,6 +47,16 @@ run python -m repro.cli bench-baselines \
   --n 1024 --lookups 20000 --scalar-sample 200 --min-speedup 3 \
   --json-out "$OUT_DIR/BENCH_baselines.json"
 
+# Multicore sharded backend smoke: the merged congestion summary + hop
+# histogram must be bit-identical to the single-process engine — gated
+# on every machine.  The throughput gain is informational here
+# (--min-speedup 0): CI runners routinely expose fewer CPUs than the
+# worker count, and the 2x/4-worker acceptance is measured at n=2^18
+# (docs/BENCHMARKS.md), not at smoke size.
+run python -m repro.cli bench-shard \
+  --n 1024 --lookups 20000 --workers 2 --chunk 4096 --min-speedup 0 \
+  --json-out "$OUT_DIR/BENCH_shard.json"
+
 # Day-in-the-life soak smoke: every subsystem composed on one live
 # network with all between-phase invariants on.  The artifact is
 # seed-deterministic (no wall-clock keys), so bench-compare gates its

@@ -1,0 +1,77 @@
+"""Shared NumPy-safe JSON artifact helpers for the bench CLI.
+
+Every ``bench-*``/``soak`` subcommand used to carry its own copy of the
+"NumPy scalar → Python scalar" JSON dance; this module is the single
+implementation.  :func:`write_artifact` wraps one measurement dict into
+the artifact envelope CI uploads and ``bench-compare`` gates on — and
+stamps the **execution shape** (``workers`` + machine ``cpu_count``)
+into every artifact, so compares can refuse diffs across different
+worker counts instead of mistaking a sharding change for a throughput
+regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+__all__ = ["json_default", "to_jsonable", "artifact_payload",
+           "write_artifact"]
+
+
+def json_default(value):
+    """``json.dump(default=...)`` hook: NumPy scalars to Python scalars."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON serializable: {type(value)!r}")
+
+
+def to_jsonable(value):
+    """Deep-convert a result tree to JSON-native types.
+
+    NumPy scalars go through ``.item()``, arrays through ``.tolist()``,
+    tuples become lists; dict keys are stringified the way ``json.dump``
+    would.  Shared by the artifact writer and the soak experiment's
+    deterministic payload, so "what the artifact holds" has exactly one
+    definition.
+    """
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # ndarray
+        return value.tolist()
+    if hasattr(value, "item"):  # NumPy scalar
+        return value.item()
+    return value
+
+
+def artifact_payload(command: str, result: Dict, ok: bool,
+                     workers: int = 1) -> Dict:
+    """The artifact envelope: verdict + execution shape + measurement."""
+    return {
+        "command": command,
+        "ok": bool(ok),
+        "workers": int(workers),
+        "cpu_count": int(os.cpu_count() or 1),
+        "result": result,
+    }
+
+
+def write_artifact(path: Optional[str], command: str, result: Dict,
+                   ok: bool, workers: int = 1) -> None:
+    """Dump one bench measurement as a JSON artifact (NumPy-safe).
+
+    No-op without a path.  The parent directory is created on demand and
+    the file ends in a newline (byte-stable artifacts diff cleanly).
+    """
+    if not path:
+        return
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    payload = artifact_payload(command, result, ok, workers=workers)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=json_default)
+        fh.write("\n")
+    print(f"wrote {path}")

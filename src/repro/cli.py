@@ -54,6 +54,14 @@ subcommands:
                     network, with cross-subsystem invariant checks
                     between phases; --json-out artifacts are
                     byte-reproducible per --seed
+  bench-shard       multicore shoot-out: route the same random-pair
+                    workload chunk-by-chunk through the single-process
+                    batch engine and the sharded multiprocessing
+                    backend (--workers N over shared-memory snapshot
+                    columns); merged congestion summary and hop
+                    histogram must be bit-identical, and the sharded
+                    gain must hold --min-speedup when the machine has
+                    at least N CPUs
   bench-compare     regression gate: diff this run's bench-artifacts/
                     BENCH_*.json against the committed references in
                     benchmarks/baselines/; any throughput ("speedup" /
@@ -63,32 +71,33 @@ subcommands:
 
 every bench-* subcommand accepts --json-out FILE to additionally write
 the measurement dict (plus the pass/fail verdict) as machine-readable
-JSON — the artifact CI uploads per run and bench-compare gates on.
+JSON — the artifact CI uploads per run and bench-compare gates on —
+and --workers N to run batch routing on the sharded multiprocessing
+backend (default 1 = in-process; artifacts record workers + cpu count,
+and bench-compare refuses diffs across different worker counts).
 
 invocation: PYTHONPATH=src python -m repro.cli <subcommand> [options]
 """
 
 
 def _write_json_out(path: Optional[str], command: str, result: dict,
-                    ok: bool) -> None:
-    """Dump one bench measurement as a JSON artifact (NumPy-safe)."""
-    if not path:
-        return
-    import json
-    import os
+                    ok: bool, workers: int = 1) -> None:
+    """Dump one bench measurement as a JSON artifact (NumPy-safe).
 
-    def _py(value):
-        if hasattr(value, "item"):
-            return value.item()
-        raise TypeError(f"not JSON serializable: {type(value)!r}")
+    Thin wrapper over :func:`repro.artifacts.write_artifact` — the one
+    shared serializer — stamping the worker count into the envelope.
+    """
+    from .artifacts import write_artifact
 
-    parent = os.path.dirname(os.path.abspath(path))
-    os.makedirs(parent, exist_ok=True)
-    payload = {"command": command, "ok": bool(ok), "result": result}
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, default=_py)
-        fh.write("\n")
-    print(f"wrote {path}")
+    write_artifact(path, command, result, ok, workers=workers)
+
+
+def _check_workers(args, command: str) -> Optional[int]:
+    """Validate ``--workers``; returns an exit code on error, else None."""
+    if args.workers < 1:
+        print(f"{command}: --workers must be >= 1", file=sys.stderr)
+        return 2
+    return None
 
 
 def _bench_throughput(args) -> int:
@@ -103,6 +112,8 @@ def _bench_throughput(args) -> int:
     if args.delta < 2:
         print("bench-throughput: --delta must be >= 2", file=sys.stderr)
         return 2
+    if (rc := _check_workers(args, "bench-throughput")) is not None:
+        return rc
 
     result = measure_throughput(
         n=args.n,
@@ -111,12 +122,14 @@ def _bench_throughput(args) -> int:
         scalar_sample=args.scalar_sample,
         algorithm=args.algorithm,
         delta=args.delta,
+        workers=args.workers,
     )
     print(format_throughput_report(result))
     ok = result["parity_ok"] and result["speedup"] >= args.min_speedup
     verdict = "PASS" if ok else "FAIL"
     print(f"[{verdict}] parity and speedup ≥ {args.min_speedup:g}x")
-    _write_json_out(args.json_out, "bench-throughput", result, ok)
+    _write_json_out(args.json_out, "bench-throughput", result, ok,
+                    workers=args.workers)
     return 0 if ok else 1
 
 
@@ -133,6 +146,11 @@ def _bench_churn(args) -> int:
     if not 0.0 <= args.leave_prob <= 1.0:
         print("bench-churn: --leave-prob must be in [0, 1]", file=sys.stderr)
         return 2
+    if (rc := _check_workers(args, "bench-churn")) is not None:
+        return rc
+    if args.workers > 1:
+        print("bench-churn: the refresh soak is single-process (it measures "
+              "journal replay, not routing); --workers recorded only")
 
     result = measure_churn_soak(
         n=args.n,
@@ -151,7 +169,8 @@ def _bench_churn(args) -> int:
         f"[{verdict}] owners fresh and incremental refresh ≥ "
         f"{args.min_refresh_speedup:g}x over full compile"
     )
-    _write_json_out(args.json_out, "bench-churn", result, ok)
+    _write_json_out(args.json_out, "bench-churn", result, ok,
+                    workers=args.workers)
     return 0 if ok else 1
 
 
@@ -171,6 +190,8 @@ def _bench_congestion(args) -> int:
     if args.delta < 2:
         print("bench-congestion: --delta must be >= 2", file=sys.stderr)
         return 2
+    if (rc := _check_workers(args, "bench-congestion")) is not None:
+        return rc
 
     result = measure_congestion(
         n=args.n,
@@ -179,12 +200,14 @@ def _bench_congestion(args) -> int:
         scalar_sample=args.scalar_sample,
         algorithm=args.algorithm,
         delta=args.delta,
+        workers=args.workers,
     )
     print(format_congestion_report(result))
     ok = result["parity_ok"] and result["speedup"] >= args.min_speedup
     verdict = "PASS" if ok else "FAIL"
     print(f"[{verdict}] accounting parity and speedup ≥ {args.min_speedup:g}x")
-    _write_json_out(args.json_out, "bench-congestion", result, ok)
+    _write_json_out(args.json_out, "bench-congestion", result, ok,
+                    workers=args.workers)
     return 0 if ok else 1
 
 
@@ -201,6 +224,11 @@ def _bench_faults(args) -> int:
     if not 0.0 <= args.p_fail < 1.0:
         print("bench-faults: --p-fail must be in [0, 1)", file=sys.stderr)
         return 2
+    if (rc := _check_workers(args, "bench-faults")) is not None:
+        return rc
+    if args.workers > 1:
+        print("bench-faults: the FT engine's choice-driven replay is "
+              "single-process; --workers recorded only")
 
     result = measure_faults(
         n=args.n,
@@ -213,7 +241,8 @@ def _bench_faults(args) -> int:
     ok = result["parity_ok"] and result["speedup"] >= args.min_speedup
     verdict = "PASS" if ok else "FAIL"
     print(f"[{verdict}] replay parity and speedup ≥ {args.min_speedup:g}x")
-    _write_json_out(args.json_out, "bench-faults", result, ok)
+    _write_json_out(args.json_out, "bench-faults", result, ok,
+                    workers=args.workers)
     return 0 if ok else 1
 
 
@@ -231,6 +260,12 @@ def _bench_caching(args) -> int:
         print("bench-caching: --salts must be >= 2 to spread a hot key",
               file=sys.stderr)
         return 2
+    if (rc := _check_workers(args, "bench-caching")) is not None:
+        return rc
+    if args.workers > 1:
+        print("bench-caching: serve_batch's replication fixpoint is "
+              "order-dependent across the batch, so caching is never "
+              "sharded; --workers recorded only")
 
     result = measure_caching(
         n=args.n,
@@ -248,7 +283,8 @@ def _bench_caching(args) -> int:
     verdict = "PASS" if ok else "FAIL"
     print(f"[{verdict}] trace parity, salted relief and speedup ≥ "
           f"{args.min_speedup:g}x")
-    _write_json_out(args.json_out, "bench-caching", result, ok)
+    _write_json_out(args.json_out, "bench-caching", result, ok,
+                    workers=args.workers)
     return 0 if ok else 1
 
 
@@ -277,6 +313,11 @@ def _bench_baselines(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    if (rc := _check_workers(args, "bench-baselines")) is not None:
+        return rc
+    if args.workers > 1:
+        print("bench-baselines: the per-scheme scalar comparison is "
+              "single-process; --workers recorded only")
 
     result = measure_baselines(
         n=args.n,
@@ -292,7 +333,8 @@ def _bench_baselines(args) -> int:
     verdict = "PASS" if ok else "FAIL"
     print(f"[{verdict}] per-topology parity and speedup ≥ "
           f"{args.min_speedup:g}x for every scheme")
-    _write_json_out(args.json_out, "bench-baselines", result, ok)
+    _write_json_out(args.json_out, "bench-baselines", result, ok,
+                    workers=args.workers)
     return 0 if ok else 1
 
 
@@ -381,6 +423,17 @@ def _bench_compare(args) -> int:
             continue
         with open(run_path, encoding="utf-8") as fh:
             run = json.load(fh)
+        ref_workers = int(ref.get("workers", 1))
+        run_workers = int(run.get("workers", 1))
+        if ref_workers != run_workers:
+            # a sharding change is not a throughput regression (or gain);
+            # re-baseline with --update-refs instead of comparing across
+            failures.append((base, "workers",
+                             f"cross-worker-count diff refused: reference "
+                             f"ran with {ref_workers} worker(s), this run "
+                             f"with {run_workers}"))
+            print(f"{base}: REFUSED (workers {ref_workers} vs {run_workers})")
+            continue
         found, gated = _compare_payload(ref, run, args.tolerance)
         total_gated += gated
         if found:
@@ -415,6 +468,8 @@ def _soak(args) -> int:
     except ValueError as exc:
         print(f"soak: {exc}", file=sys.stderr)
         return 2
+    if (rc := _check_workers(args, "soak")) is not None:
+        return rc
 
     result = measure_soak(
         n=args.n,
@@ -425,6 +480,7 @@ def _soak(args) -> int:
         items=args.items,
         invariants=not args.no_invariants,
         strict=False,
+        workers=args.workers,
     )
     print(format_soak_report(result))
     ok = (result["invariants_ok"] and result["healing_ok"]
@@ -433,7 +489,44 @@ def _soak(args) -> int:
     print(f"[{verdict}] invariants + healing + ft success "
           f"≥ {args.min_ft_success:g}")
     # wall-clock keys are stripped so same-seed runs write identical bytes
-    _write_json_out(args.json_out, "soak", deterministic_payload(result), ok)
+    _write_json_out(args.json_out, "soak", deterministic_payload(result), ok,
+                    workers=args.workers)
+    return 0 if ok else 1
+
+
+def _bench_shard(args) -> int:
+    from .experiments.shard_bench import format_shard_report, measure_shard
+
+    if args.n < 8 or args.lookups < 1 or args.chunk < 1:
+        print("bench-shard: --n must be >= 8 and --lookups/--chunk >= 1",
+              file=sys.stderr)
+        return 2
+    if args.workers < 2:
+        print("bench-shard: --workers must be >= 2 (there is nothing to "
+              "shard for 1)", file=sys.stderr)
+        return 2
+
+    result = measure_shard(
+        n=args.n,
+        lookups=args.lookups,
+        workers=args.workers,
+        seed=args.seed,
+        chunk=args.chunk,
+    )
+    print(format_shard_report(result))
+    gate = result["speedup_gate_engaged"] and args.min_speedup > 0
+    ok = result["parity_ok"] and (
+        not gate or result["shard_gain"] >= args.min_speedup)
+    verdict = "PASS" if ok else "FAIL"
+    if gate:
+        print(f"[{verdict}] shard parity and gain ≥ {args.min_speedup:g}x "
+              f"with {args.workers} workers")
+    else:
+        print(f"[{verdict}] shard parity (gain gate waived: "
+              f"{result['cpu_count']} CPU(s) < {args.workers} workers "
+              "or --min-speedup 0)")
+    _write_json_out(args.json_out, "bench-shard", result, ok,
+                    workers=args.workers)
     return 0 if ok else 1
 
 
@@ -475,6 +568,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     benchp.add_argument("--delta", type=int, default=2, help="graph degree Δ")
     benchp.add_argument("--seed", type=int, default=0)
+    benchp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes of the sharded execution backend (default 1 "
+        "= in-process; recorded in --json-out artifacts)",
+    )
     benchp.add_argument(
         "--min-speedup",
         type=float,
@@ -525,6 +623,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     churnp.add_argument("--seed", type=int, default=0)
     churnp.add_argument(
+        "--workers", type=int, default=1,
+        help="recorded in --json-out artifacts (the refresh soak itself is "
+        "single-process)",
+    )
+    churnp.add_argument(
         "--min-refresh-speedup",
         type=float,
         default=5.0,
@@ -563,6 +666,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     congp.add_argument("--delta", type=int, default=2, help="graph degree Δ")
     congp.add_argument("--seed", type=int, default=0)
     congp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes of the sharded execution backend (default 1 "
+        "= in-process; recorded in --json-out artifacts)",
+    )
+    congp.add_argument(
         "--min-speedup",
         type=float,
         default=10.0,
@@ -598,6 +706,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "same choice uniforms (must match bit-for-bit)",
     )
     faultp.add_argument("--seed", type=int, default=0)
+    faultp.add_argument(
+        "--workers", type=int, default=1,
+        help="recorded in --json-out artifacts (the FT replay is "
+        "single-process)",
+    )
     faultp.add_argument(
         "--min-speedup",
         type=float,
@@ -649,6 +762,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     cachep.add_argument("--seed", type=int, default=1)
     cachep.add_argument(
+        "--workers", type=int, default=1,
+        help="recorded in --json-out artifacts (the caching fixpoint is "
+        "order-dependent and never sharded)",
+    )
+    cachep.add_argument(
         "--min-speedup",
         type=float,
         default=10.0,
@@ -690,6 +808,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     basep.add_argument("--seed", type=int, default=0)
     basep.add_argument(
+        "--workers", type=int, default=1,
+        help="recorded in --json-out artifacts (the scheme shoot-out is "
+        "single-process)",
+    )
+    basep.add_argument(
         "--min-speedup",
         type=float,
         default=5.0,
@@ -727,6 +850,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     soakp.add_argument("--seed", type=int, default=0)
     soakp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes sharding the lookup phases (default 1 = "
+        "in-process; merged stats are bit-identical either way)",
+    )
+    soakp.add_argument(
         "--items", type=int, default=24,
         help="erasure-coded blobs stored on the fault substrate"
     )
@@ -745,6 +873,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="write the deterministic result dict + verdict as JSON "
         "(byte-identical across runs with the same seed)",
+    )
+
+    shardp = sub.add_parser(
+        "bench-shard",
+        help="multicore sharded batch routing vs the single-process engine "
+        "(bit-identical merged congestion + hop histogram)",
+    )
+    shardp.add_argument(
+        "--n", type=int, default=1 << 18, help="network size (default 2^18)"
+    )
+    shardp.add_argument(
+        "--lookups", type=int, default=1_000_000,
+        help="random-pair lookups routed by both backends"
+    )
+    shardp.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes of the sharded backend (>= 2)"
+    )
+    shardp.add_argument(
+        "--chunk", type=int, default=1 << 17,
+        help="per-dispatch batch size of the chunked drive (default 2^17)"
+    )
+    shardp.add_argument("--seed", type=int, default=0)
+    shardp.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="exit non-zero when the sharded gain is below this factor; "
+        "only enforced when the machine has >= --workers CPUs (parity is "
+        "always enforced); 0 disables the gain gate",
+    )
+    shardp.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the measurement dict + verdict as JSON",
     )
 
     cmpp = sub.add_parser(
@@ -798,6 +962,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench_caching(args)
     if args.command == "bench-baselines":
         return _bench_baselines(args)
+    if args.command == "bench-shard":
+        return _bench_shard(args)
     if args.command == "soak":
         from .sim.scenario import DEFAULT_CHUNK, DEFAULT_PHASES
 

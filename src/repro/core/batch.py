@@ -42,7 +42,6 @@ snapshot.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Set
 
@@ -50,9 +49,15 @@ import numpy as np
 
 from .lookup import MAX_WALK_STEPS, compress_path
 from .segments import cover_indices, fold_unit, normalize_array
+from .snapshot import ColumnarSnapshot, SnapshotRefreshStats
 
 __all__ = ["BatchRouter", "BatchLookupResult", "RouterRefreshStats",
            "levels_to_csr"]
+
+#: The router's refresh accounting is the shared snapshot layer's —
+#: kept under its historical name for the churn-soak experiment and
+#: the refresh test suite.
+RouterRefreshStats = SnapshotRefreshStats
 
 #: Fixed row stride of the sorted adjacency keys ``row·STRIDE + col``.
 #: Independent of ``n`` so incremental insertions/deletions only have to
@@ -117,37 +122,6 @@ def levels_to_csr(size: int, level_mats) -> tuple:
         keep[1:] = (vals[1:] != vals[:-1]) | (lane[1:] != lane[:-1])
     np.cumsum(np.bincount(lane[keep], minlength=size), out=offsets[1:])
     return vals[keep].astype(np.int32), offsets
-
-
-@dataclass
-class RouterRefreshStats:
-    """Cumulative accounting of a router's re-sync work.
-
-    Every pending membership op a refresh consumed is counted in exactly
-    one bucket: ``ops_replayed`` when an incremental patch replayed it,
-    ``ops_absorbed`` when a fallback full rebuild absorbed it (budget or
-    journal window exceeded, tiny network, ``force_full``).  Keeping the
-    buckets separate is what makes the incremental-refresh speedup claim
-    honest — a single rebuild that swallows a 10⁴-op churn wave must not
-    masquerade as 10⁴ cheap incremental replays.  ``seconds`` covers the
-    patching itself (both modes); the churn-soak experiment divides it
-    by :meth:`ops_synced` to report refresh cost per membership op.
-    """
-
-    refreshes: int = 0
-    incremental: int = 0
-    full_rebuilds: int = 0
-    ops_replayed: int = 0
-    ops_absorbed: int = 0
-    seconds: float = 0.0
-
-    def ops_synced(self) -> int:
-        """Membership ops consumed by refreshes, over both buckets."""
-        return self.ops_replayed + self.ops_absorbed
-
-    def seconds_per_op(self) -> float:
-        total = self.ops_synced()
-        return self.seconds / total if total else 0.0
 
 
 def _normalize_array(values, size: Optional[int] = None) -> np.ndarray:
@@ -275,8 +249,18 @@ class BatchLookupResult:
         return float(self.hops.mean()) if self.size else 0.0
 
 
-class BatchRouter:
+class BatchRouter(ColumnarSnapshot):
     """Frozen NumPy snapshot of a network that routes lookups in bulk.
+
+    The router is the membership instance of the shared
+    :class:`~repro.core.snapshot.ColumnarSnapshot` layer: the base class
+    owns the version counter against the network's membership journal,
+    the stale-or-refresh entry guard, the incremental-vs-full refresh
+    decision with its :class:`~repro.core.snapshot.SnapshotRefreshStats`
+    accounting, and the column registry the sharded execution backend
+    (:mod:`repro.core.shard`) exports into shared memory.  This class
+    contributes the routing math plus the membership-specific patch rule
+    (:meth:`_patch`) and rebuild (:meth:`_rebuild`).
 
     Parameters
     ----------
@@ -303,6 +287,11 @@ class BatchRouter:
         cheaper for bulk changes.  ``None`` means ``max(16, n // 16)``.
     """
 
+    #: Frozen aligned arrays the snapshot layer registers and the shard
+    #: backend exports (the variable-length ``_edge_keys`` table rides
+    #: along separately — see :meth:`shard_spec` in the shard module).
+    COLUMNS = ("points", "seg_start", "seg_end", "midpoints")
+
     def __init__(self, net, build_adjacency: bool = False,
                  auto_refresh: bool = False,
                  churn_budget: Optional[int] = None) -> None:
@@ -311,16 +300,26 @@ class BatchRouter:
         if net.n >= int(_ROW_STRIDE):  # pragma: no cover - 2^31 servers
             raise ValueError("network too large for the adjacency encoding")
         self._net = net
-        self.auto_refresh = bool(auto_refresh)
-        self.churn_budget = churn_budget
-        self.refresh_stats = RouterRefreshStats()
-        self._snapshot()
+        super().__init__(journal=net.membership_log,
+                         auto_refresh=auto_refresh,
+                         budget=churn_budget,
+                         stale_error=_STALE_ROUTER_ERROR)
         if build_adjacency:
             self._build_adjacency()
 
+    @property
+    def churn_budget(self) -> Optional[int]:
+        """The refresh budget, under its membership-flavoured name."""
+        return self.budget
+
     # ------------------------------------------------------------- snapshot
-    def _snapshot(self) -> None:
-        """(Re)build every frozen array from the live network."""
+    def _rebuild(self) -> None:
+        """(Re)build every frozen array from the live network.
+
+        Keeps the neighbour table through full rebuilds (when one was
+        built) so the cost lands in ``refresh_stats``, not in the next
+        dh batch.
+        """
         net = self._net
         self.delta = int(net.delta)
         self.with_ring = bool(net.with_ring)
@@ -330,30 +329,17 @@ class BatchRouter:
         self.seg_start = starts
         self.seg_end = ends
         self.midpoints = net.segments.midpoints_array()
+        had_adjacency = getattr(self, "_edge_keys", None) is not None
         self._edge_keys: Optional[np.ndarray] = None
-        self._version = net.membership_version
-
-    @property
-    def version(self) -> int:
-        """The membership version this router's arrays reflect."""
-        return self._version
-
-    @property
-    def is_stale(self) -> bool:
-        return self._version != self._net.membership_version
+        if had_adjacency:
+            self._build_adjacency()
 
     def _ensure_fresh(self) -> None:
         """Entry guard of every batch call: sync or fail actionably."""
-        if self._version == self._net.membership_version:
-            return
-        if not self.auto_refresh:
-            raise RuntimeError(_STALE_ROUTER_ERROR)
-        self.refresh()
+        self.ensure_fresh()
 
     def _build_adjacency(self) -> None:
         """Sorted ``i·STRIDE + j`` keys of every directed neighbour pair."""
-        if self.is_stale:
-            raise RuntimeError(_STALE_ROUTER_ERROR)
         indptr, indices = self._net.adjacency_arrays()
         rows = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(indptr))
         self._edge_keys = np.sort(rows * _ROW_STRIDE + indices.astype(np.int64))
@@ -376,39 +362,16 @@ class BatchRouter:
         incremental patches; recompiles from scratch when ``force_full``
         is set, the pending-op count exceeds the churn budget, the log
         window was exceeded, or the network passed through a tiny size
-        (n < 4) where the ring seam makes patching not worth the care.
-        Returns ``self`` so calls chain.
+        (n < 4) where the ring seam makes patching not worth the care
+        (the latter two via :meth:`_patch` bailing out to the base
+        class's full-rebuild path).  Returns ``self`` so calls chain.
         """
-        net = self._net
-        target = net.membership_version
-        if target == self._version and not force_full:
-            return self
-        if net.n == 0:
+        if (force_full or self.is_stale) and self._net.n == 0:
             raise LookupError("cannot refresh a router over an empty network")
-        t0 = time.perf_counter()
-        pending = None if force_full else net.membership_log.ops_since(
-            self._version)
-        budget = (self.churn_budget if self.churn_budget is not None
-                  else max(16, self.n // 16))
-        ops = target - self._version
-        had_adjacency = self._edge_keys is not None
-        if (pending is not None and len(pending) <= budget
-                and self._apply_incremental(pending)):
-            self.refresh_stats.incremental += 1
-            self.refresh_stats.ops_replayed += ops
-        else:
-            self._snapshot()
-            if had_adjacency:
-                # keep the neighbour table through full rebuilds so the
-                # cost lands in refresh_stats, not in the next dh batch
-                self._build_adjacency()
-            self.refresh_stats.full_rebuilds += 1
-            self.refresh_stats.ops_absorbed += ops
-        self.refresh_stats.refreshes += 1
-        self.refresh_stats.seconds += time.perf_counter() - t0
+        super().refresh(force_full)
         return self
 
-    def _apply_incremental(self, pending) -> bool:
+    def _patch(self, pending) -> bool:
         """Patch the arrays by replaying ``pending``; False to bail to full.
 
         Per op the point/bound/midpoint arrays get one ``np.insert`` /
@@ -480,7 +443,6 @@ class BatchRouter:
         if keys is not None:
             keys = self._recompute_rows(keys, dirty_rows)
         self._edge_keys = keys
-        self._version = net.membership_version
         return True
 
     @staticmethod
@@ -550,6 +512,50 @@ class BatchRouter:
                 "incremental adjacency patch produced duplicate edges"
             )  # pragma: no cover - guarded invariant
         return np.insert(keys, np.searchsorted(keys, fresh_arr), fresh_arr)
+
+    # ------------------------------------------------------------- sharding
+    def sharded_executor(self, workers: int):
+        """The cached :class:`~repro.core.shard.ShardedExecutor` handle.
+
+        Lazily built on first use and reused across batches (worker
+        pools are expensive); rebuilt when ``workers`` changes.  The
+        executor re-syncs its shared-memory snapshot against this
+        router's version on every batch, so churn + ``auto_refresh``
+        compose with sharding.  Call :meth:`close_executor` (or close
+        the returned handle) when done.
+        """
+        from .shard import ShardedExecutor
+        ex = getattr(self, "_executor", None)
+        if ex is not None and ex.workers != workers:
+            ex.close()
+            ex = None
+        if ex is None:
+            ex = ShardedExecutor(self, workers)
+            self._executor = ex
+        return ex
+
+    def close_executor(self) -> None:
+        """Tear down the cached sharded executor (no-op without one)."""
+        ex = getattr(self, "_executor", None)
+        if ex is not None:
+            ex.close()
+            self._executor = None
+
+    def lookup_batch(self, sources, targets, workers: int = 1,
+                     keep_paths: "bool | str" = False) -> BatchLookupResult:
+        """Fast lookup of a batch, optionally sharded across processes.
+
+        ``workers=1`` (the default) is exactly
+        :meth:`batch_fast_lookup`; ``workers>=2`` routes contiguous
+        slices through the cached sharded executor and merges — the
+        result is bit-identical either way (sharded batches report
+        paths as ``"csr"`` only).
+        """
+        if workers <= 1:
+            return self.batch_fast_lookup(sources, targets,
+                                          keep_paths=keep_paths)
+        return self.sharded_executor(workers).batch_fast_lookup(
+            sources, targets, keep_paths=keep_paths)
 
     # ---------------------------------------------------------------- cover
     def cover(self, ys: np.ndarray) -> np.ndarray:

@@ -30,6 +30,7 @@ from .continuous import ContinuousGraph
 from .interval import Arc, Number, normalize
 from .node import Server
 from .segments import SegmentMap
+from .snapshot import OpJournal
 
 __all__ = ["DistanceHalvingNetwork"]
 
@@ -39,44 +40,22 @@ IdSelector = Callable[["DistanceHalvingNetwork", np.random.Generator], float]
 MembershipOp = tuple
 
 
-class MembershipLog:
+class MembershipLog(OpJournal):
     """Bounded journal of join/leave operations for incremental routers.
 
-    Every membership change appends ``(kind, float(point), index)`` where
-    ``index`` is the point's position in the sorted id vector at the time
-    of the operation (the insertion index for a join, the pre-removal
-    index for a leave).  A :class:`~repro.core.batch.BatchRouter` synced
-    at version ``v`` replays the suffix ``ops_since(v)`` to patch its
-    frozen arrays in O(affected region) instead of recompiling.
-
-    The log is capped (``cap`` entries); a router that fell further
-    behind than the cap gets ``None`` from :meth:`ops_since` and must do
-    a full rebuild.
+    The membership instance of the shared
+    :class:`~repro.core.snapshot.OpJournal`: every membership change
+    appends ``(kind, float(point), index)`` where ``index`` is the
+    point's position in the sorted id vector at the time of the
+    operation (the insertion index for a join, the pre-removal index
+    for a leave).  A :class:`~repro.core.batch.BatchRouter` synced at
+    version ``v`` replays the suffix ``ops_since(v)`` to patch its
+    frozen arrays in O(affected region) instead of recompiling; a
+    router that fell behind the cap gets ``None`` and must rebuild.
     """
 
-    def __init__(self, cap: int = 8192) -> None:
-        self.cap = int(cap)
-        self.version = 0
-        self._ops: List[MembershipOp] = []
-        self._head = 0  # version just before the first retained entry
-
     def record(self, kind: str, point: float, index: int) -> None:
-        self._ops.append((kind, float(point), int(index)))
-        self.version += 1
-        overflow = len(self._ops) - self.cap
-        if overflow > 0:
-            del self._ops[:overflow]
-            self._head += overflow
-
-    def ops_since(self, version: int) -> Optional[List[MembershipOp]]:
-        """Ops replaying version → current, or ``None`` if trimmed away."""
-        if version > self.version:
-            raise ValueError(
-                f"version {version} is ahead of the network ({self.version})"
-            )
-        if version < self._head:
-            return None
-        return self._ops[version - self._head:]
+        self.append((kind, float(point), int(index)))
 
 
 class DistanceHalvingNetwork:

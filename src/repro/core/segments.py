@@ -254,9 +254,14 @@ class SegmentMap:
         return [self._points[i] for i in self.covering(arc)]
 
     # ------------------------------------------------------------- analytics
-    def lengths(self) -> np.ndarray:
-        """All segment lengths as a float64 array (sums to 1)."""
-        pts = self.as_array()
+    @staticmethod
+    def lengths_from_array(pts: np.ndarray) -> np.ndarray:
+        """Segment lengths of a frozen sorted point array (sums to 1).
+
+        Shared with snapshot holders of the sorted column (the bucket
+        balancer) so their analytics use the exact IEEE-754 ops of
+        :meth:`lengths` — bit-parity by construction, not by test.
+        """
         if len(pts) == 0:
             return np.zeros(0)
         if len(pts) == 1:
@@ -264,6 +269,10 @@ class SegmentMap:
         diffs = np.diff(pts)
         wrap = 1.0 - pts[-1] + pts[0]
         return np.append(diffs, wrap)
+
+    def lengths(self) -> np.ndarray:
+        """All segment lengths as a float64 array (sums to 1)."""
+        return self.lengths_from_array(self.as_array())
 
     def smoothness(self) -> float:
         """``ρ(x) = max_i |s(x_i)| / min_j |s(x_j)|`` (Definition 1)."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
+from ..artifacts import to_jsonable
 from ..sim.scenario import DEFAULT_CHUNK, DEFAULT_PHASES, ScenarioEngine
 from .common import ExperimentResult, register, timed
 
@@ -41,15 +42,20 @@ def measure_soak(
     items: int = 24,
     invariants: bool = True,
     strict: bool = True,
+    workers: int = 1,
 ) -> Dict:
     """Run one scripted soak; returns the scenario dict plus timing.
 
     Everything except the :data:`NONDETERMINISTIC_KEYS` entries is a
-    pure function of the arguments.
+    pure function of the arguments — including under ``workers > 1``,
+    which streams the lookup phases through the shared-memory sharded
+    backend with bit-identical results (``workers`` is recorded in the
+    artifact *envelope*, not the scenario dict, so the deterministic
+    payload stays byte-identical across backend choices).
     """
     engine = ScenarioEngine(n=n, lookups=lookups, chunk=chunk, seed=seed,
                             items=items, invariants=invariants,
-                            strict=strict)
+                            strict=strict, workers=workers)
     t0 = time.perf_counter()
     result = engine.run(phases)
     secs = time.perf_counter() - t0
@@ -60,9 +66,14 @@ def measure_soak(
 
 
 def deterministic_payload(result: Dict) -> Dict:
-    """The artifact view: the result minus its wall-clock keys."""
-    return {k: v for k, v in result.items()
-            if k not in NONDETERMINISTIC_KEYS}
+    """The artifact view: the result minus its wall-clock keys.
+
+    Passed through :func:`repro.artifacts.to_jsonable` so NumPy scalars
+    and arrays serialize identically wherever the payload is dumped —
+    the same converter the shared artifact writer uses.
+    """
+    return to_jsonable({k: v for k, v in result.items()
+                        if k not in NONDETERMINISTIC_KEYS})
 
 
 def format_soak_report(result: Dict) -> str:

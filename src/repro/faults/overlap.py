@@ -29,12 +29,13 @@ import numpy as np
 from ..core.continuous import ContinuousGraph
 from ..core.interval import normalize
 from ..core.segments import cover_indices, normalize_array
+from ..core.snapshot import ColumnarSnapshot
 from ..hashing.kwise import Key, PointHasher
 
 __all__ = ["OverlappingDHNetwork"]
 
 
-class OverlappingDHNetwork:
+class OverlappingDHNetwork(ColumnarSnapshot):
     """Static overlapping-segment Distance Halving network.
 
     Besides the scalar dict-based API, the constructor freezes the
@@ -43,7 +44,18 @@ class OverlappingDHNetwork:
     the batch fault-tolerance engine (:mod:`repro.faults.batch_ft`) can
     answer "all covers of each of these B points" with one
     ``searchsorted`` plus a ``(max α, B)`` gather — no per-point scan.
+
+    The tables are the *static* instance of the shared
+    :class:`~repro.core.snapshot.ColumnarSnapshot` layer: membership
+    never changes after construction, so the snapshot is journal-less
+    and can never go stale — but it shares the column registry the
+    sharded execution backend (:mod:`repro.core.shard`) exports into
+    shared memory.
     """
+
+    #: The aligned cover-table arrays, registered with the snapshot layer
+    #: (``max_back`` is a derived scalar, recomputed by every rebuild).
+    COLUMNS = ("points_array", "alpha_array", "seg_len_array", "mid_array")
 
     def __init__(
         self,
@@ -69,7 +81,12 @@ class OverlappingDHNetwork:
             self.alpha[x] = a
             self.end[x] = self.points[(i + a) % n]
         self.store: Dict[Key, Set[float]] = {}
-        # ---- array-backed cover tables (the membership is static) ----
+        # journal-less: static membership, so the snapshot never goes stale
+        super().__init__(journal=None)
+
+    def _rebuild(self) -> None:
+        """Freeze the array-backed cover tables from the scalar dicts."""
+        n = len(self.points)
         #: sorted id points, aligned with every per-server array below
         self.points_array = np.asarray(self.points, dtype=np.float64)
         #: overlap parameter α_i per server (how many successors it covers)

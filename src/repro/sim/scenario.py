@@ -304,6 +304,13 @@ class ScenarioEngine:
         Run :meth:`check_invariants` between phases (``strict`` raises
         on the first violation; otherwise violations are reported in the
         result dict).
+    workers:
+        ``> 1`` routes the lookup stream through the shared-memory
+        sharded backend (``router.lookup_batch(..., workers=...)``).
+        Results are bit-identical to single-process by construction —
+        the merged :class:`SoakStats` and the byte-reproducibility of
+        the artifact are unaffected.  The engine owns the executor and
+        tears it down when :meth:`run` returns.
     """
 
     def __init__(
@@ -317,14 +324,18 @@ class ScenarioEngine:
         zipf_exponent: float = 1.2,
         invariants: bool = True,
         strict: bool = True,
+        workers: int = 1,
     ) -> None:
         if n < 16:
             raise ValueError("soak needs n >= 16")
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.n0 = int(n)
         self.lookups_total = int(lookups)
         self.chunk = int(chunk)
+        self.workers = int(workers)
         self.seed = int(seed)
         self.zipf_exponent = float(zipf_exponent)
         self.invariants = bool(invariants)
@@ -378,8 +389,9 @@ class ScenarioEngine:
             pts = self.net.segments.as_array()
             sources = pts[rng.integers(0, pts.size, size=b)]
             targets = rng.random(b)
-            res = self.router.batch_fast_lookup(sources, targets,
-                                                keep_paths="csr")
+            res = self.router.lookup_batch(sources, targets,
+                                           workers=self.workers,
+                                           keep_paths="csr")
             stats.record_route(res)
             done += b
         self._observe(stats)
@@ -585,43 +597,49 @@ class ScenarioEngine:
 
         rows: List[Dict] = []
         free_i = 0
-        for i, ph in enumerate(plan):
-            stats = SoakStats()
-            if ph.kind == "lookups":
-                if ph.arg is None:
-                    self._phase_lookups(stats, None, shares[free_i])
-                    free_i += 1
-                else:
-                    self._phase_lookups(stats, ph.arg, 0)
-            elif ph.kind == "churn":
-                self._phase_churn(stats, ph.arg)
-            elif ph.kind == "flash":
-                self._phase_flash(stats, ph.arg)
-            elif ph.kind == "failstop":
-                self._phase_failstop(stats, ph.arg)
-            elif ph.kind == "byzantine":
-                self._phase_byzantine(stats, ph.arg)
-            elif ph.kind == "rebalance":
-                self._phase_rebalance(stats, ph.arg)
-            elif ph.kind == "mass":
-                self._phase_mass(stats, ph.arg)
-            name = f"{i + 1}:{ph.kind}"
-            self.phase_snapshots.append((name, stats.snapshot()))
-            self.total.merge(stats)
-            if self.invariants:
-                self.check_invariants(name)
-            rows.append({
-                "phase": name,
-                "n": self.net.n,
-                "rho": round(float(self.net.smoothness()), 2)
-                if self.net.n >= 2 else math.inf,
-                "lookups": stats.route.lookups,
-                "cached": stats.cache_requests,
-                "ft": stats.ft_pairs,
-                "churn_ops": stats.churn_ops,
-                "repairs": stats.repair.repaired,
-                "mean_hops": round(stats.mean_hops(), 2),
-            })
+        try:
+            for i, ph in enumerate(plan):
+                stats = SoakStats()
+                if ph.kind == "lookups":
+                    if ph.arg is None:
+                        self._phase_lookups(stats, None, shares[free_i])
+                        free_i += 1
+                    else:
+                        self._phase_lookups(stats, ph.arg, 0)
+                elif ph.kind == "churn":
+                    self._phase_churn(stats, ph.arg)
+                elif ph.kind == "flash":
+                    self._phase_flash(stats, ph.arg)
+                elif ph.kind == "failstop":
+                    self._phase_failstop(stats, ph.arg)
+                elif ph.kind == "byzantine":
+                    self._phase_byzantine(stats, ph.arg)
+                elif ph.kind == "rebalance":
+                    self._phase_rebalance(stats, ph.arg)
+                elif ph.kind == "mass":
+                    self._phase_mass(stats, ph.arg)
+                name = f"{i + 1}:{ph.kind}"
+                self.phase_snapshots.append((name, stats.snapshot()))
+                self.total.merge(stats)
+                if self.invariants:
+                    self.check_invariants(name)
+                rows.append({
+                    "phase": name,
+                    "n": self.net.n,
+                    "rho": round(float(self.net.smoothness()), 2)
+                    if self.net.n >= 2 else math.inf,
+                    "lookups": stats.route.lookups,
+                    "cached": stats.cache_requests,
+                    "ft": stats.ft_pairs,
+                    "churn_ops": stats.churn_ops,
+                    "repairs": stats.repair.repaired,
+                    "mean_hops": round(stats.mean_hops(), 2),
+                })
+        finally:
+            # the engine owns the sharded executor's lifetime: release
+            # the worker pool + shared-memory blocks even on a strict
+            # invariant failure mid-scenario
+            self.router.close_executor()
 
         invariants_ok = all(r["ok"] for r in self.invariant_rows)
         alive_frac = len(self.alive) / self._ft_points.size

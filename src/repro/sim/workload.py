@@ -80,6 +80,7 @@ def route_pairs(
     tau: "np.ndarray | None" = None,
     congestion=None,
     keep_paths="csr",
+    workers: int = 1,
 ):
     """Route a whole workload through a batch router in one call.
 
@@ -90,14 +91,23 @@ def route_pairs(
     :class:`~repro.core.routing_stats.BatchCongestion`) is given, books
     the batch into it.  Returns the
     :class:`~repro.core.batch.BatchLookupResult`.
+
+    ``workers > 1`` dispatches the batch over the router's cached
+    shared-memory sharded executor (bit-identical results; the caller
+    owns teardown via ``router.close_executor()``).  Sharded ``'dh'``
+    requires explicit ``tau`` digits — the workers draw no shared rng.
     """
     sources, targets = pairs_to_arrays(pairs)
     if algorithm == "fast":
-        res = router.batch_fast_lookup(sources, targets,
-                                       keep_paths=keep_paths)
+        res = router.lookup_batch(sources, targets, workers=workers,
+                                  keep_paths=keep_paths)
     elif algorithm == "dh":
-        res = router.batch_dh_lookup(sources, targets, rng=rng, tau=tau,
-                                     keep_paths=keep_paths)
+        if workers > 1:
+            res = router.sharded_executor(workers).batch_dh_lookup(
+                sources, targets, tau, keep_paths=keep_paths)
+        else:
+            res = router.batch_dh_lookup(sources, targets, rng=rng, tau=tau,
+                                         keep_paths=keep_paths)
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}; use 'fast' or 'dh'")
     if congestion is not None:

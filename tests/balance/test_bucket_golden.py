@@ -1,0 +1,85 @@
+"""Golden-trace parity: the ported BucketBalancer vs pre-port behavior.
+
+The §4.1 balancer was ported onto the shared columnar-snapshot layer
+(``_PointsSnapshot`` patching a frozen sorted column from the balancer's
+op journal instead of re-freezing ``SegmentMap.as_array`` per query).
+These checkpoints were recorded on the **pre-port** implementation with
+the exact driver below; every field — counts, bucket shapes, the full
+``repr`` of the smoothness float, and a SHA-256 of the raw point bytes —
+must still match exactly, so the port provably changed no behavior.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.balance.buckets import BucketBalancer
+
+# (seed, steps, leave_prob, threshold) -> recorded quarter-step rows of
+# (step, n, total_id_changes, rebalances, len(buckets),
+#  sorted sizes[:5], repr(smoothness()), sha256(points)[:16])
+GOLDEN = {
+    (11, 240, 0.0, 3.0): [
+        (60, 60, 507, 39, 4, [12, 14, 16, 18],
+         "2.983438667369363", "2bc1013985dbbafc"),
+        (120, 120, 1240, 78, 7, [15, 15, 15, 15, 16],
+         "2.734355002046765", "2756dbb99a5c40db"),
+        (180, 180, 2061, 118, 9, [15, 16, 16, 17, 21],
+         "3.260854542094904", "1cb30671346a82e8"),
+        (240, 240, 2975, 157, 11, [16, 16, 17, 17, 20],
+         "4.196632664497566", "ae3d4f4cbe1e8c2d"),
+    ],
+    (12, 400, 0.45, 2.0): [
+        (100, 4, 503, 73, 1, [4],
+         "1.0", "ca4784e1cc87d921"),
+        (200, 26, 1346, 154, 2, [10, 16],
+         "1.371428571428578", "9f0b3e7691be5420"),
+        (300, 32, 2557, 246, 3, [8, 11, 13],
+         "1.3389687235841177", "e3eeb7b79542d4b4"),
+        (400, 52, 3779, 336, 4, [12, 12, 12, 16],
+         "3.0984400215169576", "cddafcd2200498a1"),
+    ],
+    (13, 320, 0.3, 4.0): [
+        (80, 48, 472, 41, 4, [11, 11, 12, 14],
+         "1.5060606060606148", "3f82e9edd91fb86e"),
+        (160, 88, 1160, 80, 5, [13, 13, 16, 22, 24],
+         "6.821736598847273", "0e7ef0c782910131"),
+        (240, 102, 1734, 114, 7, [12, 13, 14, 14, 15],
+         "3.7811609018607606", "001bf76b728dc3f7"),
+        (320, 128, 2378, 152, 7, [16, 16, 17, 18, 18],
+         "3.4876707866897494", "32d3f75ebd5b8ad3"),
+    ],
+}
+
+
+def drive(seed, steps, leave_prob, threshold):
+    """The exact recording driver — do not change it, it IS the trace."""
+    b = BucketBalancer(rebalance_threshold=threshold)
+    rng = np.random.default_rng(seed)
+    alive = []
+    rows = []
+    for step in range(1, steps + 1):
+        if not alive or rng.random() >= leave_prob:
+            alive.append(b.join(rng))
+        else:
+            idx = int(rng.integers(len(alive)))
+            b.leave(alive.pop(idx), rng)
+        if step % (steps // 4) == 0:
+            pts = np.asarray([float(p) for p in b.segments.points])
+            digest = hashlib.sha256(pts.tobytes()).hexdigest()[:16]
+            rows.append((step, b.n, b.total_id_changes, b.rebalances,
+                         len(b.buckets),
+                         sorted(bk.size() for bk in b.buckets)[:5],
+                         repr(b.smoothness()), digest))
+    b.check_invariants()
+    return rows
+
+
+@pytest.mark.parametrize("params", sorted(GOLDEN), ids=lambda p: f"seed{p[0]}")
+def test_churn_trace_matches_pre_port_recording(params):
+    recorded = [tuple(row) for row in GOLDEN[params]]
+    replayed = [(s, n, ch, rb, nb, list(sz), sm, dg)
+                for s, n, ch, rb, nb, sz, sm, dg in drive(*params)]
+    assert replayed == [(s, n, ch, rb, nb, list(sz), sm, dg)
+                        for s, n, ch, rb, nb, sz, sm, dg in recorded]
