@@ -57,6 +57,17 @@ run python -m repro.cli bench-shard \
   --n 1024 --lookups 20000 --workers 2 --chunk 4096 --min-speedup 0 \
   --json-out "$OUT_DIR/BENCH_shard.json"
 
+# Cost-aware covering-edge routing smoke: the three selection policies
+# over a synthetic ISP map.  The ≥30% cross-ISP reduction and ≤1.5x
+# stretch acceptance is measured at n=16384 (docs/BENCHMARKS.md) but
+# holds with wide margin at smoke size too; the speedup floor is the
+# conservative 5x of the other smokes.  The 2-worker flag also gates
+# the sharded cost-dh bit-parity on every run.
+run python -m repro.cli bench-cost \
+  --n 1024 --pairs 20000 --scalar-sample 100 --core-n 512 \
+  --core-pairs 10000 --workers 2 --min-speedup 5 \
+  --json-out "$OUT_DIR/BENCH_cost.json"
+
 # Day-in-the-life soak smoke: every subsystem composed on one live
 # network with all between-phase invariants on.  The artifact is
 # seed-deterministic (no wall-clock keys), so bench-compare gates its

@@ -62,6 +62,12 @@ subcommands:
                     histogram must be bit-identical, and the sharded
                     gain must hold --min-speedup when the machine has
                     at least N CPUs
+  bench-cost        cost-aware covering-edge routing (P4P/ALTO-style):
+                    route the same workload under uniform / greedy /
+                    weighted cover selection over a synthetic ISP cost
+                    map; gates the greedy cross-ISP reduction floor,
+                    the hop-stretch ceiling, the scalar bit-parity
+                    replay and the core engine's tau_used replay
   bench-compare     regression gate: diff this run's bench-artifacts/
                     BENCH_*.json against the committed references in
                     benchmarks/baselines/; any throughput ("speedup" /
@@ -530,6 +536,51 @@ def _bench_shard(args) -> int:
     return 0 if ok else 1
 
 
+def _bench_cost(args) -> int:
+    from .experiments.cost_routing import (
+        format_cost_report,
+        measure_cost_routing,
+    )
+
+    if args.n < 8 or args.core_n < 8 or args.pairs < 1 or args.core_pairs < 1:
+        print("bench-cost: --n/--core-n must be >= 8 and --pairs/"
+              "--core-pairs >= 1", file=sys.stderr)
+        return 2
+    if args.isps < 1:
+        print("bench-cost: --isps must be >= 1", file=sys.stderr)
+        return 2
+    if args.temperature <= 0:
+        print("bench-cost: --temperature must be > 0", file=sys.stderr)
+        return 2
+    if (rc := _check_workers(args, "bench-cost")) is not None:
+        return rc
+
+    result = measure_cost_routing(
+        n=args.n,
+        pairs=args.pairs,
+        seed=args.seed,
+        isps=args.isps,
+        temperature=args.temperature,
+        scalar_sample=args.scalar_sample,
+        core_n=args.core_n,
+        core_pairs=args.core_pairs,
+        workers=args.workers,
+    )
+    print(format_cost_report(result))
+    ok = (result["parity_ok"] and result["core_replay_ok"]
+          and result["core_shard_parity_ok"]
+          and result["xisp_reduction"] >= args.min_xisp_reduction
+          and result["stretch"] <= args.max_stretch
+          and result["speedup"] >= args.min_speedup)
+    verdict = "PASS" if ok else "FAIL"
+    print(f"[{verdict}] parity, cross-ISP reduction ≥ "
+          f"{args.min_xisp_reduction:.0%}, stretch ≤ {args.max_stretch:g}x "
+          f"and speedup ≥ {args.min_speedup:g}x")
+    _write_json_out(args.json_out, "bench-cost", result, ok,
+                    workers=args.workers)
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -911,6 +962,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the measurement dict + verdict as JSON",
     )
 
+    costp = sub.add_parser(
+        "bench-cost",
+        help="cost-aware covering-edge routing over a synthetic ISP map "
+        "(cross-ISP reduction + stretch + bit-parity replay gates)",
+    )
+    costp.add_argument(
+        "--n", type=int, default=16384,
+        help="overlapping-network size of the policy shoot-out"
+    )
+    costp.add_argument(
+        "--pairs", type=int, default=100_000,
+        help="(source, target) pairs routed per policy"
+    )
+    costp.add_argument(
+        "--isps", type=int, default=8,
+        help="ISP count of the synthetic cost map"
+    )
+    costp.add_argument(
+        "--temperature", type=float, default=1.0,
+        help="softmin temperature of the weighted policy"
+    )
+    costp.add_argument(
+        "--scalar-sample", type=int, default=200,
+        help="lookups per cost policy replayed through the scalar walk "
+        "with the same uniforms (must match bit-for-bit)",
+    )
+    costp.add_argument(
+        "--core-n", type=int, default=4096,
+        help="core-engine cell network size (tau_used replay check)"
+    )
+    costp.add_argument(
+        "--core-pairs", type=int, default=50_000,
+        help="pairs routed by the core-engine cell"
+    )
+    costp.add_argument("--seed", type=int, default=0)
+    costp.add_argument(
+        "--workers", type=int, default=1,
+        help="also route the core greedy cell on the sharded backend "
+        "with this many workers and require bit-parity",
+    )
+    costp.add_argument(
+        "--min-xisp-reduction", type=float, default=0.3,
+        help="exit non-zero when greedy cuts mean cross-ISP traffic by "
+        "less than this fraction vs uniform",
+    )
+    costp.add_argument(
+        "--max-stretch", type=float, default=1.5,
+        help="exit non-zero when greedy's mean hop count exceeds "
+        "uniform's by more than this factor",
+    )
+    costp.add_argument(
+        "--min-speedup", type=float, default=10.0,
+        help="exit non-zero when the batch engine is slower than this "
+        "factor over the scalar replay",
+    )
+    costp.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the measurement dict + verdict as JSON",
+    )
+
     cmpp = sub.add_parser(
         "bench-compare",
         help="regression gate: diff run bench artifacts against committed "
@@ -964,6 +1077,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench_baselines(args)
     if args.command == "bench-shard":
         return _bench_shard(args)
+    if args.command == "bench-cost":
+        return _bench_cost(args)
     if args.command == "soak":
         from .sim.scenario import DEFAULT_CHUNK, DEFAULT_PHASES
 

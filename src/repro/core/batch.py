@@ -173,6 +173,12 @@ class BatchLookupResult:
     t: np.ndarray
     hops: np.ndarray
     phase1_hops: Optional[np.ndarray] = None
+    #: phase-I digits actually taken (cost-aware dh batches record them,
+    #: 0-padded past each lookup's ``t``) — feeding them back through the
+    #: ``tau=`` replay hook of the scalar/batch dh lookups reproduces the
+    #: routed paths bit-for-bit; ``policy`` names the selection rule
+    tau_used: Optional[np.ndarray] = None
+    policy: Optional[str] = None
     # CSR path representation (filled by keep_paths="csr" or to_csr())
     path_servers: Optional[np.ndarray] = None
     path_offsets: Optional[np.ndarray] = None
@@ -542,15 +548,35 @@ class BatchRouter(ColumnarSnapshot):
             self._executor = None
 
     def lookup_batch(self, sources, targets, workers: int = 1,
-                     keep_paths: "bool | str" = False) -> BatchLookupResult:
-        """Fast lookup of a batch, optionally sharded across processes.
+                     keep_paths: "bool | str" = False,
+                     policy: Optional[str] = None,
+                     choices: Optional[np.ndarray] = None,
+                     rng: Optional[np.random.Generator] = None,
+                     temperature: float = 1.0) -> BatchLookupResult:
+        """Route a batch, optionally sharded and/or cost-aware.
 
         ``workers=1`` (the default) is exactly
         :meth:`batch_fast_lookup`; ``workers>=2`` routes contiguous
         slices through the cached sharded executor and merges — the
         result is bit-identical either way (sharded batches report
         paths as ``"csr"`` only).
+
+        Passing ``policy=`` ("uniform", "greedy", "weighted") switches
+        to the cost-aware two-phase lookup
+        (:meth:`batch_cost_dh_lookup`); it needs the cost columns of a
+        :class:`~repro.peer.routing.CostAwareBatchRouter` plus, for the
+        randomized policies, shared per-step uniforms via ``choices=``
+        (required when sharding) or an ``rng``.
         """
+        if policy is not None:
+            if workers <= 1:
+                return self.batch_cost_dh_lookup(
+                    sources, targets, choices=choices, rng=rng,
+                    policy=policy, temperature=temperature,
+                    keep_paths=keep_paths)
+            return self.sharded_executor(workers).batch_cost_dh_lookup(
+                sources, targets, choices, policy=policy,
+                temperature=temperature, keep_paths=keep_paths)
         if workers <= 1:
             return self.batch_fast_lookup(sources, targets,
                                           keep_paths=keep_paths)
@@ -795,7 +821,37 @@ class BatchRouter(ColumnarSnapshot):
                 p1_rows.append(row)
             step += 1
 
-        # Phase II: closed-form backward descent w(τ[:j], y) for j = t_i..0.
+        owner_idx, hops, back = self._dh_phase2(y, t, off, hops1, cur,
+                                                keep_paths)
+        result = BatchLookupResult(
+            algorithm="dh",
+            points=self.points,
+            targets=y,
+            sources=src,
+            source_idx=src_idx,
+            owner_idx=owner_idx,
+            t=t,
+            hops=hops,
+            phase1_hops=hops1,
+            _phase1_levels=np.vstack(p1_rows) if keep_paths else None,
+            _phase2_levels=back,
+        )
+        if keep_paths == "csr":
+            result.to_csr()
+            result._phase1_levels = None  # CSR replaces the level matrices
+            result._phase2_levels = None
+        return result
+
+    def _dh_phase2(self, y, t, off, hops1, cur, keep_paths):
+        """Phase II: closed-form backward descent w(τ[:j], y) for j = t_i..0.
+
+        Shared verbatim (same IEEE-754 operation order) by the random
+        and the cost-aware phase-I variants, so their phase-II halves
+        are trivially bit-comparable.  Returns
+        ``(owner_idx, hops, back)``.
+        """
+        delta = self.delta
+        size = y.size
         owner_idx = self.cover(y)
         hops = hops1.copy()
         last = cur.copy()
@@ -811,8 +867,172 @@ class BatchRouter(ColumnarSnapshot):
             last = np.where(live, c, last)
             if back is not None:
                 back[j, live] = c[live]
+        return owner_idx, hops, back
+
+    # ------------------------------------------------------- cost-aware dh
+    def _cost_state(self):
+        """The cost columns, or an actionable error on a plain router."""
+        isp = getattr(self, "cost_isp", None)
+        if isp is None:
+            raise ValueError(
+                "cost-aware routing needs cost columns; compile a "
+                "CostAwareBatchRouter (repro.peer.routing) over the network "
+                "instead of a plain BatchRouter"
+            )
+        return isp, self.cost_x, self.cost_y, self._isp_cost
+
+    def _edge_cost_matrix(self, i_idx, j_idx) -> np.ndarray:
+        """Network cost of edges i→j (point indices; broadcasts to (K, B))."""
+        from ..peer.costmap import pair_costs
+
+        isp, cx, cy, mat = self._cost_state()
+        return pair_costs(isp[i_idx], isp[j_idx], cx[i_idx], cy[i_idx],
+                          cx[j_idx], cy[j_idx], mat)
+
+    def batch_cost_dh_lookup(
+        self,
+        sources,
+        targets,
+        choices: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+        policy: str = "weighted",
+        temperature: float = 1.0,
+        keep_paths: "bool | str" = False,
+        max_steps: int = MAX_WALK_STEPS,
+    ) -> BatchLookupResult:
+        """Two-phase dh lookup with cost-aware phase-I digit selection.
+
+        Observation 2.3 halves the distance to the target image every
+        phase-I step *whatever* digit is taken, so the digit choice is a
+        free covering-edge choice: per step this method evaluates all Δ
+        candidate positions ``pos/Δ + d/Δ``, gathers the network cost of
+        hopping to each candidate's covering server (one vectorized
+        gather over the snapshot's cost columns), and picks digits with
+        the shared selection policy ("uniform" / "greedy" /
+        "weighted"; see :mod:`repro.peer.policy`).
+
+        Determinism is **tau-pinned**: the digits actually taken are
+        recorded in ``result.tau_used`` (0-padded past each lookup's
+        ``t``), and replaying them through :meth:`batch_dh_lookup`
+        (``tau=result.tau_used``) or the scalar
+        :func:`~repro.core.lookup.dh_lookup`
+        (``tau=result.tau_used[i, :result.t[i]]``) reproduces owners,
+        hop counts and full server paths bit-for-bit — the parity hook
+        the tests and ``bench-cost`` gate on.  The randomized policies
+        consume one uniform per (lookup, step) from ``choices``
+        (shape ``(size, L)`` or ``(L,)``) or from ``rng``; "greedy"
+        needs neither.  Requires the cost columns of a
+        :class:`~repro.peer.routing.CostAwareBatchRouter`.
+        """
+        from ..peer.policy import check_policy, select_rows
+
+        _check_keep_paths(keep_paths)
+        check_policy(policy)
+        self._ensure_fresh()
+        self._cost_state()  # fail early on a plain (cost-less) router
+        y = _normalize_array(targets)
+        src = _normalize_array(sources, size=y.size)
+        if src.size != y.size:
+            raise ValueError("sources and targets must have the same length")
+        size = y.size
+        u_mat: Optional[np.ndarray] = None
+        if choices is not None:
+            u_mat = np.asarray(choices, dtype=np.float64)
+            if u_mat.ndim == 1:
+                u_mat = np.broadcast_to(u_mat, (size, u_mat.size))
+            if u_mat.shape[0] != size:
+                raise ValueError("choices must have one uniform row per lookup")
+        elif rng is None and policy != "greedy":
+            raise ValueError(
+                f"policy {policy!r} needs shared uniforms: pass choices= or rng="
+            )
+
+        delta = self.delta
+        digs = np.arange(delta, dtype=np.float64)
+        cur = self.cover(src)
+        src_idx = cur.copy()
+        pos = src.copy()
+        image = y.copy()
+        t = np.zeros(size, dtype=np.int64)
+        off = np.zeros(size, dtype=np.float64)  # Σ d_k Δ^k, exact in float64
+        hops1 = np.zeros(size, dtype=np.int64)
+        done = np.zeros(size, dtype=bool)
+        p1_rows: List[np.ndarray] = [cur.copy()] if keep_paths else []
+        tau_rows: List[np.ndarray] = []
+
+        step_cap = min(max_steps, int(52 / math.log2(delta)))
+        step = 0
+        while not done.all():
+            if step > step_cap:  # pragma: no cover - beyond Theorem 2.8
+                raise RuntimeError(
+                    "batch_cost_dh_lookup phase I failed to converge"
+                )
+            active = ~done
+            done |= active & self._in_segment(image, cur)
+            rem = active & ~done
+            row = None
+            if rem.any():
+                holder = self.cover(image)
+                via_neighbor = rem & self._edge_member(cur, holder)
+                hops1 += via_neighbor
+                if keep_paths:
+                    row = np.full(size, -1, dtype=np.int64)
+                    row[via_neighbor] = holder[via_neighbor]
+                cur = np.where(via_neighbor, holder, cur)
+                done |= via_neighbor
+                cont = rem & ~via_neighbor
+                if cont.any():
+                    lanes = np.flatnonzero(cont)
+                    # candidate next position per digit — the same float
+                    # expression the digit update below applies, so the
+                    # scored candidate is exactly where the message goes
+                    cand_pos = fold_unit(
+                        pos[lanes][None, :] / delta + digs[:, None] / delta
+                    )
+                    cand_cov = self.cover(cand_pos.ravel()).reshape(
+                        delta, lanes.size
+                    )
+                    costs = self._edge_cost_matrix(cur[lanes], cand_cov)
+                    if u_mat is not None:
+                        if step >= u_mat.shape[1]:
+                            raise ValueError(
+                                "supplied choices exhausted before lookup "
+                                "finished"
+                            )
+                        u_row = u_mat[lanes, step]
+                    elif rng is not None:
+                        u_row = rng.random(size)[lanes]
+                    else:
+                        u_row = None
+                    ok = np.ones((delta, lanes.size), dtype=bool)
+                    sel = select_rows(costs, ok, u_row, policy, temperature)
+                    d_step = np.zeros(size, dtype=np.int64)
+                    d_step[lanes] = sel
+                    tau_rows.append(d_step)
+                    d = d_step.astype(np.float64)
+                    pos = fold_unit(np.where(cont, pos / delta + d / delta, pos))
+                    image = fold_unit(
+                        np.where(cont, image / delta + d / delta, image)
+                    )
+                    off = np.where(cont, off + d * float(delta) ** step, off)
+                    t += cont
+                    c = self.cover(pos)
+                    hops1 += cont & (c != cur)
+                    if row is not None:
+                        row[cont] = c[cont]
+                    cur = np.where(cont, c, cur)
+            if keep_paths and row is not None:
+                p1_rows.append(row)
+            step += 1
+
+        tau_used = (
+            np.ascontiguousarray(np.vstack(tau_rows).T)
+            if tau_rows else np.zeros((size, 0), dtype=np.int64)
+        )
+        owner_idx, hops, back = self._dh_phase2(y, t, off, hops1, cur,
+                                                keep_paths)
         result = BatchLookupResult(
-            algorithm="dh",
+            algorithm="dh-cost",
             points=self.points,
             targets=y,
             sources=src,
@@ -821,6 +1041,8 @@ class BatchRouter(ColumnarSnapshot):
             t=t,
             hops=hops,
             phase1_hops=hops1,
+            tau_used=tau_used,
+            policy=policy,
             _phase1_levels=np.vstack(p1_rows) if keep_paths else None,
             _phase2_levels=back,
         )

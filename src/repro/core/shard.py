@@ -8,8 +8,10 @@ that lets benches scale past n=2^20": a :class:`ShardedExecutor` that
 * exports the router's frozen snapshot **pickle-free** into
   ``multiprocessing.shared_memory`` blocks — exactly the arrays the
   :class:`~repro.core.snapshot.ColumnarSnapshot` column registry
-  enumerates, plus the sorted adjacency keys when built — so every
-  worker process routes against the *same physical pages*, not a copy;
+  enumerates, plus the sorted adjacency keys when built and any
+  ``shard_extra_arrays()`` a router subclass declares (the cost-aware
+  router ships its k×k ISP matrix this way) — so every worker process
+  routes against the *same physical pages*, not a copy;
 * splits a batch of lookups into ``workers`` contiguous slices and runs
   them through a persistent process pool; the per-lane routing math is
   elementwise (every IEEE-754 op of a lane depends only on that lane and
@@ -90,6 +92,21 @@ def merge_results(parts: Sequence[BatchLookupResult],
     phase1 = None
     if all(p.phase1_hops is not None for p in parts):
         phase1 = cat([p.phase1_hops for p in parts])
+    tau_used = None
+    if all(p.tau_used is not None for p in parts):
+        # shards stop at their own deepest phase-I step; right-pad the
+        # narrower digit matrices with zeros (digits past a lookup's
+        # ``t`` are never consumed by a replay) before stacking
+        width = max(p.tau_used.shape[1] for p in parts)
+        padded = []
+        for p in parts:
+            tu = p.tau_used
+            if tu.shape[1] < width:
+                pad = np.zeros((tu.shape[0], width - tu.shape[1]),
+                               dtype=tu.dtype)
+                tu = np.concatenate([tu, pad], axis=1)
+            padded.append(tu)
+        tau_used = cat(padded)
     servers = offsets = None
     if all(p.path_servers is not None for p in parts):
         servers = cat([p.path_servers for p in parts])
@@ -110,6 +127,8 @@ def merge_results(parts: Sequence[BatchLookupResult],
         t=cat([p.t for p in parts]),
         hops=cat([p.hops for p in parts]),
         phase1_hops=phase1,
+        tau_used=tau_used,
+        policy=first.policy,
         path_servers=servers,
         path_offsets=offsets,
     )
@@ -125,10 +144,12 @@ class _ShardRouter(BatchRouter):
     a no-op and anything that would need the live object graph raises.
     """
 
-    def ensure_fresh(self) -> None:  # the exported snapshot is frozen
+    def ensure_fresh(self) -> None:
+        """No-op: the exported snapshot is frozen for the pool's lifetime."""
         return
 
     def refresh(self, force_full: bool = False) -> "BatchRouter":
+        """Always an error: refresh happens in the parent process."""
         raise RuntimeError("shard workers hold a frozen snapshot; "
                            "refresh happens in the parent process")
 
@@ -182,6 +203,16 @@ def _run_dh(task) -> BatchLookupResult:
     return result
 
 
+def _run_cost_dh(task) -> BatchLookupResult:
+    sources, targets, choices, policy, temperature, keep_paths = task
+    router: _ShardRouter = _WORKER["router"]  # type: ignore[assignment]
+    result = router.batch_cost_dh_lookup(
+        sources, targets, choices=choices, policy=policy,
+        temperature=temperature, keep_paths=keep_paths)
+    result.points = None
+    return result
+
+
 class ShardedExecutor:
     """Persistent worker pool routing batch slices against a shared snapshot.
 
@@ -227,6 +258,11 @@ class ShardedExecutor:
         self._exported_adjacency = router._edge_keys is not None
         if self._exported_adjacency:
             arrays["_edge_keys"] = router._edge_keys
+        # non-column extras (e.g. the cost-aware router's k×k ISP cost
+        # matrix, which is not n-aligned and so not a registered column)
+        extra = getattr(router, "shard_extra_arrays", None)
+        if extra is not None:
+            arrays.update(extra())
         for attr, arr in arrays.items():
             arr = np.ascontiguousarray(arr)
             shm = shared_memory.SharedMemory(
@@ -267,6 +303,7 @@ class ShardedExecutor:
         return self
 
     def close(self) -> None:
+        """Terminate the pool and release every shared-memory block."""
         self._teardown()
 
     def __enter__(self) -> "ShardedExecutor":
@@ -346,6 +383,57 @@ class ShardedExecutor:
         tasks = [(src[lo:hi], y[lo:hi], tau_arr[lo:hi], keep_paths)
                  for lo, hi in bounds]
         parts = self._pool.map(_run_dh, tasks)
+        return merge_results(parts, points=self.router.points)
+
+    def batch_cost_dh_lookup(self, sources, targets, choices,
+                             policy: str = "weighted",
+                             temperature: float = 1.0,
+                             keep_paths: "bool | str" = False,
+                             ) -> BatchLookupResult:
+        """Sharded cost-aware dh lookup (explicit ``choices`` only).
+
+        Mirrors :meth:`~repro.core.batch.BatchRouter
+        .batch_cost_dh_lookup` over per-worker slices.  The per-step
+        uniforms must be supplied up front (an ``rng`` would be consumed
+        batch-wise and break shard parity, exactly like ``tau`` for the
+        plain dh path; ``policy="greedy"`` accepts ``choices=None``).
+        Requires a cost-aware router — the workers rebuild their shard
+        routers from the exported cost columns plus the ``_isp_cost``
+        extra array, so the merged result is bit-identical to the
+        single-process call, ``tau_used`` included.
+        """
+        self._check(keep_paths)
+        self.sync()
+        self.router._cost_state()  # actionable error on a cost-less router
+        if not self._exported_adjacency:
+            if self.router._edge_keys is None:
+                self.router._build_adjacency()
+            self.version = None
+            self.sync()
+        y = _normalize_array(targets)
+        src = _normalize_array(sources, size=y.size)
+        if src.size != y.size:
+            raise ValueError("sources and targets must have the same length")
+        u_mat = None
+        if choices is not None:
+            u_mat = np.asarray(choices, dtype=np.float64)
+            if u_mat.ndim == 1:
+                u_mat = np.broadcast_to(u_mat, (y.size, u_mat.size))
+            if u_mat.shape[0] != y.size:
+                raise ValueError("choices must have one uniform row per lookup")
+        elif policy != "greedy":
+            raise ValueError(
+                f"sharded policy {policy!r} needs explicit choices= uniforms")
+        bounds = slice_bounds(y.size, self.workers)
+        if len(bounds) <= 1:
+            return self.router.batch_cost_dh_lookup(
+                src, y, choices=u_mat, policy=policy,
+                temperature=temperature, keep_paths=keep_paths)
+        tasks = [(src[lo:hi], y[lo:hi],
+                  None if u_mat is None else u_mat[lo:hi],
+                  policy, temperature, keep_paths)
+                 for lo, hi in bounds]
+        parts = self._pool.map(_run_cost_dh, tasks)
         return merge_results(parts, points=self.router.points)
 
 

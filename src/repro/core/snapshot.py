@@ -87,6 +87,7 @@ class SnapshotRefreshStats:
         return self.ops_replayed + self.ops_absorbed
 
     def seconds_per_op(self) -> float:
+        """Mean refresh seconds per consumed op (0.0 before any sync)."""
         total = self.ops_synced()
         return self.seconds / total if total else 0.0
 
@@ -225,6 +226,7 @@ class ColumnarSnapshot:
 
     @property
     def is_stale(self) -> bool:
+        """Whether the journal moved past the frozen columns."""
         return self._version != self._journal_version()
 
     def ensure_fresh(self) -> None:

@@ -15,6 +15,7 @@ from . import (  # noqa: F401
     caching_single,
     churn_soak,
     congestion,
+    cost_routing,
     emulation_exp,
     expander_exp,
     extensions,

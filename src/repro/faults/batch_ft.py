@@ -81,6 +81,9 @@ class FTBatchResult:
     holder_idx: Optional[np.ndarray] = None     # simple lookups only
     path_servers: Optional[np.ndarray] = None
     path_offsets: Optional[np.ndarray] = None
+    #: covering-edge selection rule the batch was routed with
+    #: (see :mod:`repro.peer.policy`); "uniform" is the paper's rule
+    policy: str = "uniform"
     _levels: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
@@ -245,6 +248,9 @@ class FTBatchEngine:
         choices: Optional[np.ndarray] = None,
         plan: Optional[FaultPlan] = None,
         keep_paths: "bool | str" = False,
+        oracle=None,
+        policy: str = "uniform",
+        temperature: float = 1.0,
     ) -> FTBatchResult:
         """Theorem 6.3's Simple Lookup for a whole batch of pairs.
 
@@ -257,9 +263,26 @@ class FTBatchEngine:
         scalar :func:`~repro.faults.lookup_ft.simple_lookup` reproduces
         the batch bit-for-bit.  ``keep_paths`` (``True`` or ``"csr"``)
         records the chosen server walks as CSR path arrays.
+
+        Passing an ``oracle`` (:class:`~repro.peer.itracker.CostOracle`
+        over this network's points) with ``policy="greedy"`` or
+        ``"weighted"`` makes the per-hop cover choice cost-aware: the
+        candidate costs are one vectorized gather and the pick follows
+        :func:`~repro.peer.policy.select_rows`.  The same uniforms drive
+        the scalar walk bit-identically through its matching
+        ``oracle``/``policy`` arguments ("greedy" needs no uniforms at
+        all); ``policy="uniform"`` ignores the oracle and is
+        byte-identical to the cost-less path.
         """
         _check_keep_paths(keep_paths)
-        if rng is None and choices is None:
+        cost_aware = oracle is not None and policy != "uniform"
+        if policy != "uniform":
+            from ..peer.policy import check_policy
+            check_policy(policy)
+            if oracle is None:
+                raise ValueError(f"cost policy {policy!r} needs a CostOracle")
+        if rng is None and choices is None and not (
+                cost_aware and policy == "greedy"):
             raise ValueError("batch_simple_lookup needs an rng or explicit choices")
         plan = plan if plan is not None else FaultPlan()
         alive, liar = self._masks(plan)
@@ -278,7 +301,7 @@ class FTBatchEngine:
                 raise ValueError("choices must have one uniform row per lookup")
             if u.shape[1] < tmax:
                 raise ValueError("supplied choices exhausted before lookup finished")
-        elif tmax:
+        elif rng is not None and tmax:
             u = rng.random((size, tmax))
 
         cur = src_idx.copy()
@@ -299,10 +322,17 @@ class FTBatchEngine:
             ok = mask & alive[cand]
             cnt = ok.sum(axis=0)
             dead = cnt == 0
-            # the (⌊u·cnt⌋+1)-th alive cover, in the scalar scan order
-            pick = np.minimum((u[lanes, h - 1] * cnt).astype(np.int64),
-                              cnt - 1)
-            sel = np.argmax(ok & (np.cumsum(ok, axis=0) == pick + 1), axis=0)
+            if cost_aware:
+                from ..peer.policy import select_rows
+                costs = oracle.edge_costs(cur[lanes], cand)
+                u_row = u[lanes, h - 1] if u is not None else None
+                sel = select_rows(costs, ok, u_row, policy, temperature)
+            else:
+                # the (⌊u·cnt⌋+1)-th alive cover, in the scalar scan order
+                pick = np.minimum((u[lanes, h - 1] * cnt).astype(np.int64),
+                                  cnt - 1)
+                sel = np.argmax(ok & (np.cumsum(ok, axis=0) == pick + 1),
+                                axis=0)
             nxt = cand[sel, np.arange(lanes.size)]
             failed[lanes[dead]] = True
             surv = lanes[~dead]
@@ -324,6 +354,7 @@ class FTBatchEngine:
             messages=messages,
             parallel_time=traversed,
             holder_idx=cur,
+            policy=policy,
             _levels=levels,
         )
         if keep_paths == "csr":

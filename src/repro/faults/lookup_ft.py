@@ -85,6 +85,9 @@ def simple_lookup(
     *,
     target: Optional[float] = None,
     choices: Optional[Sequence[float]] = None,
+    oracle=None,
+    policy: str = "uniform",
+    temperature: float = 1.0,
 ) -> FTLookupResult:
     """Theorem 6.3's Simple Lookup under an optional fault plan.
 
@@ -100,9 +103,23 @@ def simple_lookup(
     bit-identical to :meth:`repro.faults.batch_ft.FTBatchEngine
     .batch_simple_lookup`, which is how the parity cross-checks replay
     sub-workloads.  One of ``rng`` / ``choices`` is required.
+
+    ``oracle``/``policy``/``temperature`` mirror the batch engine's
+    cost-aware mode: with a :class:`~repro.peer.itracker.CostOracle` and
+    ``policy="greedy"`` or ``"weighted"`` the pick goes through
+    :func:`~repro.peer.policy.select_index` over the alive covers' edge
+    costs — bit-identical to the batch pick for the same uniforms
+    ("greedy" needs neither ``rng`` nor ``choices``).
     """
     plan = plan if plan is not None else FaultPlan()
-    if rng is None and choices is None:
+    cost_aware = oracle is not None and policy != "uniform"
+    if policy != "uniform":
+        from ..peer.policy import check_policy
+        check_policy(policy)
+        if oracle is None:
+            raise ValueError(f"cost policy {policy!r} needs a CostOracle")
+    if rng is None and choices is None and not (
+            cost_aware and policy == "greedy"):
         raise ValueError("simple_lookup needs an rng or explicit choices")
     if target is None:
         target = net.item_hash(key)
@@ -115,7 +132,20 @@ def simple_lookup(
         if not alive:
             return FTLookupResult(False, path_points=path, servers=servers,
                                   messages=messages, parallel_time=len(servers) - 1)
-        if choices is not None:
+        if cost_aware:
+            from ..peer.policy import select_index
+            if choices is not None:
+                if hop >= len(choices):
+                    raise ValueError(
+                        "supplied choices exhausted before lookup finished")
+                u_val = float(choices[hop])
+            elif rng is not None:
+                u_val = float(rng.random())
+            else:
+                u_val = None
+            costs = oracle.cost_between(servers[-1], alive)
+            pick = select_index(costs, u_val, policy, temperature)
+        elif choices is not None:
             if hop >= len(choices):
                 raise ValueError("supplied choices exhausted before lookup finished")
             pick = min(int(choices[hop] * len(alive)), len(alive) - 1)

@@ -1,0 +1,125 @@
+"""iTracker-like cost oracle + cross-ISP traffic accounting over CSR paths.
+
+:class:`CostOracle` is the query side of the P4P picture: built from a
+frozen sorted point array and a :class:`~repro.peer.costmap.CostMap`,
+it precomputes the per-server label/coordinate columns once and answers
+"what does the edge i→j cost?" as a pure array gather — the batch
+engines call :meth:`CostOracle.edge_costs` with a (K, B) candidate
+matrix, the scalar walks call :meth:`CostOracle.cost_between` with the
+alive-cover list, and both evaluate the same float64 expression
+(:func:`~repro.peer.costmap.pair_costs`), which is what makes the
+policy picks bit-comparable.
+
+The module-level functions account traffic over the CSR path arrays
+(``path_servers``/``path_offsets``) every batch result emits: the
+transition list never crosses a row boundary, so per-lookup cross-ISP
+hop counts and summed path costs are one mask + one ``np.bincount``.
+"""
+
+from typing import Tuple
+
+import numpy as np
+
+from .costmap import CostMap, pair_costs
+
+
+class CostOracle:
+    """Scores candidate covering edges for a frozen point array.
+
+    The point array must be sorted and static for the oracle's lifetime
+    (it is the §6 overlapping network's ``points_array``); points are
+    mapped back to indices by exact binary search, so the oracle can be
+    driven with either indices or raw id points.
+    """
+
+    def __init__(self, points, cost_map: CostMap) -> None:
+        pts = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+        if pts.ndim != 1 or pts.size == 0:
+            raise ValueError("CostOracle needs a 1-d non-empty point array")
+        if np.any(np.diff(pts) < 0):
+            raise ValueError("CostOracle needs a sorted point array")
+        self.points = pts
+        self.cost_map = cost_map
+        self.isp = cost_map.isp_of(pts)
+        self.x, self.y = cost_map.coords_of(pts)
+
+    @property
+    def isp_cost(self) -> np.ndarray:
+        """The k×k inter-ISP cost matrix."""
+        return self.cost_map.isp_cost
+
+    def index_of(self, points) -> np.ndarray:
+        """Exact indices of id points in the frozen array (raises if absent)."""
+        pts = np.asarray(points, dtype=np.float64)
+        idx = np.searchsorted(self.points, pts)
+        idx = np.minimum(idx, self.points.size - 1)
+        if not np.all(self.points[idx] == pts):
+            raise ValueError("point not present in the oracle's point array")
+        return idx
+
+    def edge_costs(self, i_idx, j_idx) -> np.ndarray:
+        """Cost of edges i→j by index; broadcasts, e.g. (B,) × (K, B)."""
+        i_idx = np.asarray(i_idx)
+        j_idx = np.asarray(j_idx)
+        return pair_costs(
+            self.isp[i_idx], self.isp[j_idx],
+            self.x[i_idx], self.y[i_idx],
+            self.x[j_idx], self.y[j_idx],
+            self.cost_map.isp_cost,
+        )
+
+    def cost_between(self, p_from, p_to) -> np.ndarray:
+        """Costs from one id point to a list of id points (scalar walks)."""
+        return self.edge_costs(
+            self.index_of(p_from), self.index_of(np.asarray(p_to))
+        )
+
+
+def csr_transitions(
+    path_servers: np.ndarray, path_offsets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Within-row transitions of a CSR path block.
+
+    Returns ``(frm, to, row)`` index arrays — one entry per message
+    (consecutive duplicates are already compressed out of CSR paths),
+    with transitions that would span two lookups' rows removed.
+    """
+    rows = np.repeat(
+        np.arange(path_offsets.size - 1), np.diff(path_offsets)
+    )
+    same = rows[:-1] == rows[1:] if rows.size else np.zeros(0, dtype=bool)
+    return path_servers[:-1][same], path_servers[1:][same], rows[:-1][same]
+
+
+def hop_counts(path_offsets: np.ndarray) -> np.ndarray:
+    """Per-lookup hop counts implied by the CSR row lengths."""
+    return np.maximum(np.diff(path_offsets) - 1, 0)
+
+
+def cross_isp_counts(
+    isp_labels: np.ndarray,
+    path_servers: np.ndarray,
+    path_offsets: np.ndarray,
+) -> np.ndarray:
+    """Per-lookup count of hops that cross an ISP boundary.
+
+    ``isp_labels`` is the per-server label column (``CostOracle.isp``
+    or ``CostAwareBatchRouter.cost_isp``) aligned with the server
+    indices stored in the CSR path arrays.
+    """
+    frm, to, row = csr_transitions(path_servers, path_offsets)
+    cross = isp_labels[frm] != isp_labels[to]
+    return np.bincount(row[cross], minlength=path_offsets.size - 1)
+
+
+def path_cost_totals(
+    oracle: CostOracle,
+    path_servers: np.ndarray,
+    path_offsets: np.ndarray,
+) -> np.ndarray:
+    """Per-lookup total network cost of the routed path."""
+    frm, to, row = csr_transitions(path_servers, path_offsets)
+    costs = oracle.edge_costs(frm, to)
+    return np.bincount(
+        row, weights=costs, minlength=path_offsets.size - 1
+    )
